@@ -1,0 +1,64 @@
+// Ablation: the metric's worst-case guarantee vs stochastic reality.
+// Executes a mapping thousands of times under three stochastic error models
+// and increasing error magnitudes, reporting realized makespan statistics,
+// violation rates, and the operational check of the paper's guarantee: no
+// trial whose error norm is within rho may violate.
+//
+// Run: ./ablation_error_models [--trials N] [--seed S] [--tau X]
+#include <iostream>
+
+#include "robust/scheduling/heuristics.hpp"
+#include "robust/sim/study.hpp"
+#include "robust/util/args.hpp"
+#include "robust/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace robust;
+  const ArgParser args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 2003));
+  const double tau = args.getDouble("tau", 1.2);
+
+  sched::EtcOptions etcOptions;
+  Pcg32 rng(seed);
+  const auto etc = sched::generateEtc(etcOptions, rng);
+  const auto mapping = sched::minMinMapping(etc);
+  const sched::IndependentTaskSystem system(etc, mapping, tau);
+  const auto analysis = system.analyze();
+
+  std::cout << "# Ablation: stochastic error models vs the worst-case "
+               "guarantee (min-min mapping)\n";
+  std::cout << "predicted makespan " << formatDouble(analysis.predictedMakespan)
+            << ", tau = " << tau << ", rho = "
+            << formatDouble(analysis.robustness) << " seconds\n\n";
+
+  sim::StudyOptions options;
+  options.trials = static_cast<int>(args.getInt("trials", 2000));
+  options.seed = seed;
+  for (const auto model :
+       {sim::ErrorModel::GaussianRelative,
+        sim::ErrorModel::GammaMultiplicative,
+        sim::ErrorModel::UniformRelative}) {
+    options.model = model;
+    const auto points = sim::runMakespanStudy(system, options);
+    std::cout << "error model: " << sim::toString(model) << "\n";
+    TablePrinter table({"magnitude", "mean ||err|| / rho", "violation rate",
+                        "mean M/M_orig", "p95 M/M_orig",
+                        "covered trials", "covered violations"});
+    for (const auto& p : points) {
+      table.addRow({formatDouble(p.magnitude),
+                    formatDouble(p.meanErrorNorm, 3),
+                    formatDouble(p.violationRate, 3),
+                    formatDouble(p.meanMakespanRatio, 4),
+                    formatDouble(p.p95MakespanRatio, 4),
+                    std::to_string(p.coveredTrials),
+                    std::to_string(p.coveredViolations)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "reading: 'covered violations' must be 0 (the guarantee); the "
+               "violation rate at\nlarger magnitudes shows how conservative "
+               "the worst-case radius is against\ntypical (non-adversarial) "
+               "errors — most perturbations beyond rho still succeed.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Ablation: robustness-aware mapping search on the HiPer-D system.
+// How much robustness does optimization buy over the random mappings the
+// paper's experiments evaluate? Compares: the best of N random mappings
+// (the Fig. 4 population), and simulated annealing maximizing rho directly
+// (with the slack metric reported alongside, showing the two objectives are
+// not interchangeable).
+//
+// Run: ./ablation_mapping_search [--seed S] [--random N] [--iters N]
+#include <algorithm>
+#include <iostream>
+
+#include "robust/hiperd/experiment.hpp"
+#include "robust/scheduling/heuristics.hpp"
+#include "robust/util/args.hpp"
+#include "robust/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace robust;
+  const ArgParser args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 2003));
+  const auto randomCount =
+      static_cast<std::size_t>(args.getInt("random", 300));
+
+  hiperd::Fig4Options options;
+  options.mappings = randomCount;
+  options.seed = seed;
+  const auto population = hiperd::runFig4(options);
+  const auto& scenario = population.generated.scenario;
+
+  // Best-of-random baseline.
+  std::size_t bestRandom = 0;
+  for (std::size_t m = 1; m < population.rows.size(); ++m) {
+    if (population.rows[m].robustness >
+        population.rows[bestRandom].robustness) {
+      bestRandom = m;
+    }
+  }
+
+  // Simulated annealing directly on the (floored) metric.
+  const auto objective = [&](const sched::Mapping& mapping) {
+    const hiperd::HiperdSystem system(scenario, mapping);
+    const auto report = system.analyze();
+    return -report.metric;  // minimize the negated metric
+  };
+  sched::AnnealingOptions annealing;
+  annealing.iterations = static_cast<int>(args.getInt("iters", 3000));
+  annealing.seed = seed;
+  const sched::Mapping annealed = sched::annealMapping(
+      scenario.graph.applicationCount(), scenario.machines,
+      population.mappings[bestRandom], objective, annealing);
+
+  auto describe = [&](const sched::Mapping& mapping) {
+    const hiperd::HiperdSystem system(scenario, mapping);
+    return std::pair{system.slack(), system.analyze().metric};
+  };
+
+  std::cout << "# Ablation: robustness-aware HiPer-D mapping search ("
+            << randomCount << " random mappings vs annealing, "
+            << annealing.iterations << " iterations)\n\n";
+  TablePrinter table({"mapping", "slack", "robustness rho"});
+  {
+    const auto [slack, rho] = describe(population.mappings[0]);
+    table.addRow({"first random", formatDouble(slack, 4),
+                  formatDouble(rho, 6)});
+  }
+  {
+    const auto [slack, rho] = describe(population.mappings[bestRandom]);
+    table.addRow({"best of " + std::to_string(randomCount) + " random",
+                  formatDouble(slack, 4), formatDouble(rho, 6)});
+  }
+  {
+    const auto [slack, rho] = describe(annealed);
+    table.addRow({"annealed (max rho)", formatDouble(slack, 4),
+                  formatDouble(rho, 6)});
+  }
+  table.print(std::cout);
+  std::cout << "\nannealing on the metric finds mappings beyond the random "
+               "population's reach —\nthe optimization use case the metric "
+               "enables (compare the slack column: the\nmost robust mapping "
+               "is not the slackest one).\n";
+  return 0;
+}

@@ -1,0 +1,141 @@
+// google-benchmark microbenchmarks of the library's kernels: the Eq. 6
+// closed form, full-system analyses, the iterative solvers, and the
+// instance generators. These stand in for the authors' testbed timings
+// (absolute numbers are machine-specific; relative costs are the signal).
+#include <benchmark/benchmark.h>
+
+#include "robust/core/analyzer.hpp"
+#include "robust/hiperd/experiment.hpp"
+#include "robust/numeric/optimize.hpp"
+#include "robust/scheduling/experiment.hpp"
+#include "robust/scheduling/heuristics.hpp"
+
+namespace {
+
+using namespace robust;
+
+sched::EtcMatrix benchEtc() {
+  sched::EtcOptions options;
+  Pcg32 rng(1);
+  return sched::generateEtc(options, rng);
+}
+
+void BM_Eq6Analysis(benchmark::State& state) {
+  const auto etc = benchEtc();
+  Pcg32 rng(2);
+  const auto mapping = sched::randomMapping(etc.apps(), etc.machines(), rng);
+  const sched::IndependentTaskSystem system(etc, mapping, 1.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.analyze());
+  }
+}
+BENCHMARK(BM_Eq6Analysis);
+
+void BM_GenericAffineAnalysis(benchmark::State& state) {
+  const auto etc = benchEtc();
+  Pcg32 rng(2);
+  const auto mapping = sched::randomMapping(etc.apps(), etc.machines(), rng);
+  const sched::IndependentTaskSystem system(etc, mapping, 1.2);
+  const auto analyzer = system.toAnalyzer();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.analyze());
+  }
+}
+BENCHMARK(BM_GenericAffineAnalysis);
+
+void BM_KktNewtonQuadratic(benchmark::State& state) {
+  num::NearestPointProblem problem;
+  problem.g = [](std::span<const double> x) {
+    double s = 0.0;
+    for (double xi : x) {
+      s += xi * xi;
+    }
+    return s;
+  };
+  problem.gradient = [](std::span<const double> x) {
+    return num::scale(x, 2.0);
+  };
+  problem.level = 1e6;
+  problem.origin = num::Vec(static_cast<std::size_t>(state.range(0)), 10.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(num::kktNewton(problem));
+  }
+}
+BENCHMARK(BM_KktNewtonQuadratic)->Arg(3)->Arg(10)->Arg(30);
+
+void BM_MonteCarloRadius(benchmark::State& state) {
+  num::NearestPointProblem problem;
+  problem.g = [](std::span<const double> x) {
+    double s = 0.0;
+    for (double xi : x) {
+      s += xi * xi;
+    }
+    return s;
+  };
+  problem.level = 1e6;
+  problem.origin = num::Vec(3, 10.0);
+  num::SolverOptions options;
+  options.samples = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(num::monteCarloRadius(problem, options));
+  }
+}
+BENCHMARK(BM_MonteCarloRadius)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_EtcGeneration(benchmark::State& state) {
+  sched::EtcOptions options;
+  options.apps = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Pcg32 rng(3);
+    benchmark::DoNotOptimize(sched::generateEtc(options, rng));
+  }
+}
+BENCHMARK(BM_EtcGeneration)->Arg(20)->Arg(200);
+
+void BM_MinMinHeuristic(benchmark::State& state) {
+  const auto etc = benchEtc();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::minMinMapping(etc));
+  }
+}
+BENCHMARK(BM_MinMinHeuristic);
+
+void BM_HiperdScenarioGeneration(benchmark::State& state) {
+  const hiperd::ScenarioOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hiperd::generateScenario(options, 2003));
+  }
+}
+BENCHMARK(BM_HiperdScenarioGeneration);
+
+void BM_HiperdAnalysis(benchmark::State& state) {
+  const auto generated =
+      hiperd::generateScenario(hiperd::ScenarioOptions{}, 2003);
+  Pcg32 rng(4);
+  const auto mapping = sched::randomMapping(
+      generated.scenario.graph.applicationCount(),
+      generated.scenario.machines, rng);
+  const hiperd::HiperdSystem system(generated.scenario, mapping);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.analyze());
+  }
+}
+BENCHMARK(BM_HiperdAnalysis);
+
+void BM_HiperdSlack(benchmark::State& state) {
+  const auto generated =
+      hiperd::generateScenario(hiperd::ScenarioOptions{}, 2003);
+  Pcg32 rng(4);
+  const auto mapping = sched::randomMapping(
+      generated.scenario.graph.applicationCount(),
+      generated.scenario.machines, rng);
+  const hiperd::HiperdSystem system(generated.scenario, mapping);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.slack());
+  }
+}
+BENCHMARK(BM_HiperdSlack);
+
+}  // namespace
+
+BENCHMARK_MAIN();

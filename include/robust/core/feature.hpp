@@ -1,0 +1,57 @@
+// Performance features (step 1) and perturbation parameters (step 2) of the
+// FePIA procedure.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "robust/core/impact.hpp"
+#include "robust/numeric/vector_ops.hpp"
+
+namespace robust::core {
+
+/// The tuple <beta_min, beta_max> of the paper: bounds on the tolerable
+/// variation of a performance feature. Either side may be absent (the
+/// makespan example only bounds from above).
+struct ToleranceBounds {
+  std::optional<double> min;
+  std::optional<double> max;
+
+  /// Bound only from above: phi <= m.
+  [[nodiscard]] static ToleranceBounds atMost(double m) {
+    return ToleranceBounds{std::nullopt, m};
+  }
+
+  /// Bound only from below: phi >= m.
+  [[nodiscard]] static ToleranceBounds atLeast(double m) {
+    return ToleranceBounds{m, std::nullopt};
+  }
+
+  /// Two-sided bound: lo <= phi <= hi.
+  [[nodiscard]] static ToleranceBounds between(double lo, double hi);
+
+  /// True when `value` satisfies all present bounds.
+  [[nodiscard]] bool contains(double value) const {
+    return (!min || value >= *min) && (!max || value <= *max);
+  }
+};
+
+/// A system performance feature phi_i together with its impact function
+/// f_ij (step 3) and tolerable-variation bounds (step 1).
+struct PerformanceFeature {
+  std::string name;       ///< e.g. "F_3 (finish time of machine 3)"
+  ImpactFunction impact;  ///< phi = f(pi)
+  ToleranceBounds bounds; ///< <beta_min, beta_max>
+};
+
+/// A perturbation parameter pi_j (step 2): the uncertain vector quantity the
+/// mapping must be robust against.
+struct PerturbationParameter {
+  std::string name;        ///< e.g. "C (actual execution times)"
+  num::Vec origin;         ///< pi_orig, the assumed operating point
+  bool discrete = false;   ///< integer-valued (Section 3.2's lambda): the
+                           ///< metric is floored per the paper
+  std::string units;       ///< e.g. "seconds", "objects per data set"
+};
+
+}  // namespace robust::core

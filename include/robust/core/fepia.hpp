@@ -1,0 +1,61 @@
+// A fluent builder that mirrors the four FePIA steps, so that a derivation
+// for a new system reads like Section 2 of the paper:
+//
+//   auto analyzer = FepiaBuilder("makespan within 120% of predicted")
+//       .perturbation("C", cOrig, /*discrete=*/false, "seconds")   // step 2
+//       .feature("F_1", impactOfMachine1, ToleranceBounds::atMost(tauM))
+//       .feature("F_2", impactOfMachine2, ToleranceBounds::atMost(tauM))
+//       ...                                                        // steps 1+3
+//       .build();                                                  // step 4
+//   auto report = analyzer.analyze();
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "robust/core/analyzer.hpp"
+
+namespace robust::core {
+
+/// Accumulates the FePIA derivation for one system and produces a
+/// RobustnessAnalyzer. Single-shot: build() may be called once.
+class FepiaBuilder {
+ public:
+  /// `requirement` is the step-1 narrative (kept for reporting/diagnostics).
+  explicit FepiaBuilder(std::string requirement);
+
+  /// Step 2: declares the perturbation parameter.
+  FepiaBuilder& perturbation(std::string name, num::Vec origin,
+                             bool discrete = false, std::string units = {});
+
+  /// Steps 1+3: adds a performance feature with its impact function and
+  /// tolerable-variation bounds.
+  FepiaBuilder& feature(std::string name, ImpactFunction impact,
+                        ToleranceBounds bounds);
+
+  /// Convenience for affine impacts.
+  FepiaBuilder& affineFeature(std::string name, num::Vec weights,
+                              double constant, ToleranceBounds bounds);
+
+  /// Optional: analysis configuration (norm, solver).
+  FepiaBuilder& options(AnalyzerOptions options);
+
+  /// The step-1 robustness requirement text.
+  [[nodiscard]] const std::string& requirement() const noexcept {
+    return requirement_;
+  }
+
+  /// Step 4: validates the accumulated derivation and constructs the
+  /// analyzer. Throws InvalidArgumentError when steps are missing.
+  [[nodiscard]] RobustnessAnalyzer build();
+
+ private:
+  std::string requirement_;
+  std::vector<PerformanceFeature> features_;
+  PerturbationParameter parameter_;
+  bool haveParameter_ = false;
+  AnalyzerOptions options_;
+  bool built_ = false;
+};
+
+}  // namespace robust::core

@@ -1,0 +1,69 @@
+// Impact functions: step 3 of the FePIA procedure.
+//
+// An impact function f_ij maps a perturbation parameter vector pi_j to a
+// performance feature value phi_i. Both example systems in the paper have
+// affine impacts (Eq. 4 and the linearized Section 3.2 experiments), which
+// admit closed-form radii; the general case is an opaque callable handled by
+// the iterative solvers.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "robust/numeric/optimize.hpp"
+#include "robust/numeric/vector_ops.hpp"
+
+namespace robust::core {
+
+/// A performance-feature impact function phi = f(pi).
+///
+/// Value-semantic; copyable. Affine instances carry their weights explicitly
+/// so the analyzer can use the point-to-hyperplane closed form (Eq. 6 path);
+/// general instances carry a callable (and optionally its gradient).
+class ImpactFunction {
+ public:
+  /// Affine impact f(x) = weights . x + constant.
+  [[nodiscard]] static ImpactFunction affine(num::Vec weights,
+                                             double constant = 0.0);
+
+  /// General impact from an opaque callable, with an optional analytic
+  /// gradient (finite differences are used when absent).
+  [[nodiscard]] static ImpactFunction callable(num::ScalarField f,
+                                               num::GradientField gradient = {});
+
+  /// Evaluates f at x.
+  [[nodiscard]] double evaluate(std::span<const double> x) const;
+
+  /// True when the impact is affine (closed-form radii available).
+  [[nodiscard]] bool isAffine() const noexcept { return affine_.has_value(); }
+
+  /// Affine weights; requires isAffine().
+  [[nodiscard]] const num::Vec& weights() const;
+
+  /// Affine constant term; requires isAffine().
+  [[nodiscard]] double constant() const;
+
+  /// The impact as a ScalarField (affine impacts wrap themselves).
+  [[nodiscard]] num::ScalarField field() const;
+
+  /// The gradient as a GradientField (affine impacts return their weights;
+  /// may be empty for general impacts without a supplied gradient).
+  [[nodiscard]] num::GradientField gradientField() const;
+
+  /// Dimension of the perturbation vector this impact expects, when known
+  /// (always known for affine impacts; nullopt for opaque callables).
+  [[nodiscard]] std::optional<std::size_t> dimension() const;
+
+ private:
+  ImpactFunction() = default;
+
+  struct Affine {
+    num::Vec weights;
+    double constant;
+  };
+  std::optional<Affine> affine_;
+  num::ScalarField fn_;
+  num::GradientField gradient_;
+};
+
+}  // namespace robust::core

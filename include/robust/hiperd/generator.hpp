@@ -1,0 +1,65 @@
+// Random HiPer-D scenario generator, parameterized to the Section 4.3
+// experiment family (the authors' exact DAG was never published; this
+// generator synthesizes instances with the same aggregate parameters —
+// see DESIGN.md, "Substitutions").
+//
+// Published parameters preserved: 20 applications, 5 machines, 3 sensors
+// (rates 4e-5, 3e-5, 8e-6), 3 actuators, 19 paths, lambda_orig =
+// (962, 380, 240), b_ijz ~ Gamma(mean 10, task het 0.7, machine het 0.7)
+// with b_ijz = 0 when sensor z cannot reach application a_i, latency limits
+// uniform with a +/-25% spread, zero communication times.
+//
+// Because the paper's absolute unit system is not reconstructible (its
+// published coefficients and rates are mutually inconsistent at face value),
+// the generator *calibrates*: coefficients are scaled so that a reference
+// (round-robin) mapping sees a target peak throughput utilization, and
+// latency limits are centered so that nominal path latencies sit at a target
+// utilization, preserving the paper's relative spread. This reproduces the
+// slack range (~0.1-0.7) and robustness magnitudes (hundreds of objects per
+// data set) of Fig. 4 / Table 2.
+#pragma once
+
+#include <cstdint>
+
+#include "robust/hiperd/system.hpp"
+
+namespace robust::hiperd {
+
+/// Generator parameters; defaults reproduce the Section 4.3 family.
+struct ScenarioOptions {
+  std::size_t applications = 20;
+  std::size_t machines = 5;
+  std::vector<double> sensorRates = {4e-5, 3e-5, 8e-6};
+  std::vector<double> lambdaOrig = {962.0, 380.0, 240.0};
+  std::size_t actuators = 3;
+  std::size_t targetPaths = 19;       ///< retry DAGs until exact (see below)
+  int maxDagAttempts = 4000;          ///< attempts before taking the closest
+  std::size_t layers = 4;             ///< depth of the layered DAG
+  double extraEdgeProbability = 0.12; ///< merge/branch edges beyond the tree
+  double coeffMean = 10.0;            ///< b_ijz Gamma mean (pre-calibration)
+  double taskHeterogeneity = 0.7;
+  double machineHeterogeneity = 0.7;
+  double latencySpread = 0.25;        ///< limits uniform in [1-s, 1+s]*center
+  /// Calibration targets are stated for the BALANCED round-robin reference
+  /// mapping; random mappings concentrate applications (the 1.3 n(m_j)
+  /// multitasking factor grows superlinearly), so their utilizations run
+  /// 2-3x higher. These defaults put the random-mapping population in the
+  /// paper's Fig. 4 slack range (~0.1 to 0.7, mostly feasible).
+  double targetThroughputUtil = 0.18; ///< peak Tc/(1/R) at the reference
+  double targetLatencyUtil = 0.20;    ///< nominal L_k/L_k^max
+  double commCoeffMean = 0.0;         ///< 0 = paper's zero communication times
+};
+
+/// Generated scenario plus generation diagnostics.
+struct GeneratedScenario {
+  HiperdScenario scenario;
+  std::size_t dagAttempts = 0;   ///< DAG draws consumed
+  bool exactPathCount = false;   ///< paths() == targetPaths achieved
+  double coefficientScale = 1.0; ///< calibration factor applied to b_ijz
+};
+
+/// Generates a scenario; deterministic in (options, seed).
+[[nodiscard]] GeneratedScenario generateScenario(const ScenarioOptions& options,
+                                                 std::uint64_t seed);
+
+}  // namespace robust::hiperd

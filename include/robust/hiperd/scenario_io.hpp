@@ -1,0 +1,39 @@
+// Text persistence for HiPer-D scenarios, so generated instances (the DAG,
+// rates, loads, limits, and coefficient tensors behind a published figure)
+// can be archived and re-analyzed later, byte-for-byte.
+//
+// Only linear load functions serialize (opaque callables cannot); values
+// are written with %.17g so doubles round-trip exactly. Format (line
+// oriented, whitespace separated):
+//
+//   hiperd-scenario v1
+//   sensors <S>            followed by S lines: <name> <rate>
+//   applications <A>       followed by A lines: <name>
+//   actuators <T>          followed by T lines: <name>
+//   edges <E>              followed by E lines: <fromKind> <fromIndex>
+//                          <toKind> <toIndex> <trigger 0|1>
+//                          (kinds: s = sensor, a = application, t = actuator)
+//   machines <M>
+//   lambda <l_1> ... <l_S>
+//   latency_limits <P>     followed by P limits in path-enumeration order
+//   compute                followed by A*M lines: <app> <machine> <S coeffs>
+//   comm                   followed by E lines: <edge> <S coeffs>
+#pragma once
+
+#include <iosfwd>
+
+#include "robust/hiperd/system.hpp"
+
+namespace robust::hiperd {
+
+/// Writes `scenario` to `os`. Throws InvalidArgumentError when any load
+/// function is not linear (opaque callables cannot be persisted).
+void saveScenario(const HiperdScenario& scenario, std::ostream& os);
+
+/// Parses a scenario from `is`, finalizes the graph, validates everything
+/// (including that the stored latency-limit count matches the re-enumerated
+/// path count), and returns it. Throws InvalidArgumentError on malformed or
+/// inconsistent input.
+[[nodiscard]] HiperdScenario loadScenario(std::istream& is);
+
+}  // namespace robust::hiperd

@@ -1,0 +1,40 @@
+// Hyperplanes and the point-to-plane distance formula.
+//
+// Both worked systems in the paper have affine impact functions, so their
+// boundary relationships f(pi) = beta are hyperplanes and the robustness
+// radius reduces to the classic point-to-plane distance (the step from
+// Eq. 5 to Eq. 6).
+#pragma once
+
+#include <span>
+
+#include "robust/numeric/vector_ops.hpp"
+
+namespace robust::num {
+
+/// The hyperplane { x : normal . x = offset }.
+struct Hyperplane {
+  Vec normal;      ///< must be non-zero
+  double offset;   ///< right-hand side
+
+  /// Signed distance from `point` (positive on the side the normal points to).
+  [[nodiscard]] double signedDistance(std::span<const double> point) const;
+
+  /// Unsigned (Euclidean) distance from `point` — Eq. 6's numerator/denominator.
+  [[nodiscard]] double distance(std::span<const double> point) const;
+
+  /// Orthogonal projection of `point` onto the plane: the boundary point
+  /// pi_star of Fig. 1 when the boundary is affine.
+  [[nodiscard]] Vec project(std::span<const double> point) const;
+
+  /// Evaluates normal . x - offset (negative inside the robust region when
+  /// the feature is below its beta_max bound).
+  [[nodiscard]] double evaluate(std::span<const double> point) const;
+};
+
+/// Builds the boundary hyperplane for an affine impact function
+/// f(x) = weights . x + constant and the bound f(x) = level.
+[[nodiscard]] Hyperplane boundaryOfAffine(std::span<const double> weights,
+                                          double constant, double level);
+
+}  // namespace robust::num

@@ -1,0 +1,35 @@
+// Hand-rolled distribution samplers on top of the PCG32 bit source.
+//
+// The paper's instance generators (Section 4) draw from Gamma distributions
+// parameterized by a mean and a "heterogeneity" — the coefficient of
+// variation (stddev / mean) — following Ali, Siegel, Maheswaran, Hensgen,
+// Sedigh-Ali, "Representing task and machine heterogeneities for
+// heterogeneous computing systems", Tamkang J. Sci. Eng. 3(3), 2000 (ref [3]
+// of the paper). All samplers are deterministic given the generator state,
+// across platforms and standard libraries.
+#pragma once
+
+#include "robust/util/rng.hpp"
+
+namespace robust::rnd {
+
+/// Standard normal draw via the Box-Muller transform (one value per call;
+/// the discarded sibling keeps the sampler stateless).
+[[nodiscard]] double standardNormal(Pcg32& rng);
+
+/// Gamma(shape k, scale theta) draw via Marsaglia-Tsang squeeze (k >= 1)
+/// with the Johnk-style boost for k < 1. Mean = k * theta, var = k * theta^2.
+[[nodiscard]] double gamma(Pcg32& rng, double shape, double scale);
+
+/// Gamma draw parameterized by mean > 0 and coefficient of variation cv > 0:
+/// shape = 1 / cv^2, scale = mean * cv^2 — the paper's "heterogeneity"
+/// parameterization. cv == 0 degenerates to the constant `mean`.
+[[nodiscard]] double gammaMeanCv(Pcg32& rng, double mean, double cv);
+
+/// Exponential draw with the given rate (mean 1/rate).
+[[nodiscard]] double exponential(Pcg32& rng, double rate);
+
+/// Uniform integer in [lo, hi] inclusive.
+[[nodiscard]] int uniformInt(Pcg32& rng, int lo, int hi);
+
+}  // namespace robust::rnd

@@ -1,0 +1,23 @@
+// CSV persistence for ETC matrices, so instances can be exchanged with
+// external tools (and the exact matrices behind published experiments can
+// be archived alongside the numbers they produced).
+//
+// Format: one header row "app,m0,m1,..." then one row per application:
+// "a<i>,<C_i0>,<C_i1>,...". Values are written with enough digits to
+// round-trip doubles exactly.
+#pragma once
+
+#include <iosfwd>
+
+#include "robust/scheduling/etc.hpp"
+
+namespace robust::sched {
+
+/// Writes `etc` to `os` in the CSV format above.
+void saveEtcCsv(const EtcMatrix& etc, std::ostream& os);
+
+/// Parses an ETC matrix from `is`. Throws InvalidArgumentError on malformed
+/// input (ragged rows, non-numeric cells, empty matrix).
+[[nodiscard]] EtcMatrix loadEtcCsv(std::istream& is);
+
+}  // namespace robust::sched

@@ -1,0 +1,41 @@
+// The Section 4.2 experiment driver: evaluate N random mappings of a CVB
+// ETC instance for makespan, load balance index, and the robustness metric
+// (the data behind Fig. 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "robust/scheduling/independent_system.hpp"
+
+namespace robust::sched {
+
+/// One evaluated mapping (one point of Fig. 3).
+struct Fig3Row {
+  double makespan = 0.0;
+  double robustness = 0.0;       ///< rho (Eq. 7), seconds
+  double loadBalance = 0.0;      ///< load balance index
+  std::size_t makespanMachineCount = 0;  ///< n(m(C_orig)) of Section 4.2
+  std::size_t maxMachineCount = 0;       ///< max_j n(m_j)
+  /// True when the mapping belongs to the cluster set S_1(x): the machine
+  /// that determines the makespan also has the (equal-)largest application
+  /// count, which makes robustness EXACTLY (tau-1) * makespan / sqrt(x).
+  bool inS1 = false;
+};
+
+/// Parameters of the experiment; defaults are the paper's (1000 mappings,
+/// 20 applications, 5 machines, Gamma mean 10, heterogeneity 0.7/0.7,
+/// tau = 1.2).
+struct Fig3Options {
+  std::size_t mappings = 1000;
+  EtcOptions etc;
+  double tau = 1.2;
+  std::uint64_t seed = 2003;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// Runs the experiment. Deterministic in (options, seed) regardless of the
+/// thread count: each mapping draws from its own counter-derived substream.
+[[nodiscard]] std::vector<Fig3Row> runFig3(const Fig3Options& options);
+
+}  // namespace robust::sched

@@ -1,0 +1,157 @@
+// Baseline mapping heuristics for the independent-task system.
+//
+// The paper evaluates 1000 uniformly random mappings; its reference [7]
+// (Braun et al. 2001) compares a standard battery of static heuristics.
+// These are implemented here both as baselines and as the inputs to
+// robustness-aware mapping studies: every iterative heuristic accepts an
+// arbitrary objective, so mappings can be optimized for makespan (classic)
+// or directly for the robustness metric (Eq. 7).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "robust/scheduling/etc.hpp"
+#include "robust/scheduling/mapping.hpp"
+#include "robust/util/rng.hpp"
+
+namespace robust::sched {
+
+/// Objective to MINIMIZE over mappings.
+using MappingObjective = std::function<double(const Mapping&)>;
+
+/// Classic objective: the makespan of the mapping.
+[[nodiscard]] MappingObjective makespanObjective(const EtcMatrix& etc);
+
+/// Robustness-aware objective: the negated Eq. 7 metric (so minimizing it
+/// maximizes robustness) with tolerance `tau`. Beware: because Eq. 6 scales
+/// with tau * M_orig, UNCONSTRAINED robustness maximization inflates the
+/// makespan (a longer schedule tolerates absolutely larger ETC errors);
+/// combine with a makespan cap for meaningful trade-off studies.
+[[nodiscard]] MappingObjective negatedRobustnessObjective(const EtcMatrix& etc,
+                                                          double tau);
+
+/// Robustness maximization subject to makespan <= makespanCap: mappings
+/// violating the cap are penalized by their excess, steering search back
+/// into the feasible region. This is the practical "most robust mapping
+/// that is still fast" formulation.
+[[nodiscard]] MappingObjective cappedRobustnessObjective(const EtcMatrix& etc,
+                                                         double tau,
+                                                         double makespanCap);
+
+/// Round-robin assignment: app i -> machine i mod |M|.
+[[nodiscard]] Mapping roundRobinMapping(const EtcMatrix& etc);
+
+/// OLB (opportunistic load balancing): each application, in index order, goes
+/// to the machine that becomes available earliest, ignoring the app's ETC.
+[[nodiscard]] Mapping olbMapping(const EtcMatrix& etc);
+
+/// MET (minimum execution time): each application goes to the machine with
+/// its smallest ETC, ignoring machine availability.
+[[nodiscard]] Mapping metMapping(const EtcMatrix& etc);
+
+/// MCT (minimum completion time): each application, in index order, goes to
+/// the machine minimizing availability + ETC.
+[[nodiscard]] Mapping mctMapping(const EtcMatrix& etc);
+
+/// Min-min: repeatedly pick the unmapped application whose best completion
+/// time is smallest and commit it to that machine.
+[[nodiscard]] Mapping minMinMapping(const EtcMatrix& etc);
+
+/// Max-min: repeatedly pick the unmapped application whose best completion
+/// time is LARGEST and commit it to that machine.
+[[nodiscard]] Mapping maxMinMapping(const EtcMatrix& etc);
+
+/// Sufferage: repeatedly pick the unmapped application that would "suffer"
+/// most (largest gap between its best and second-best completion times) and
+/// commit it to its best machine.
+[[nodiscard]] Mapping sufferageMapping(const EtcMatrix& etc);
+
+/// Greedy robustness-aware list heuristic: applications are committed in
+/// decreasing order of their minimum ETC, each to the machine that
+/// maximizes the partial mapping's NORMALIZED robustness rho / M (Eq. 7
+/// over the applications mapped so far, divided by the partial makespan —
+/// the normalization removes the metric's makespan-inflation degeneracy).
+/// Ties break toward the smaller completion time. A constructive
+/// counterpart to optimizing cappedRobustnessObjective.
+[[nodiscard]] Mapping greedyRobustMapping(const EtcMatrix& etc, double tau);
+
+/// Duplex (Braun et al.): run both min-min and max-min and keep the mapping
+/// with the smaller makespan.
+[[nodiscard]] Mapping duplexMapping(const EtcMatrix& etc);
+
+/// Options for tabu search.
+struct TabuOptions {
+  int iterations = 500;     ///< neighborhood evaluations
+  int tenure = 40;          ///< how long a visited move stays tabu
+  int patience = 120;       ///< stop after this many non-improving moves
+};
+
+/// Tabu search over single-application reassignments: each step moves to
+/// the best non-tabu neighbor (even if worse — that is how it escapes local
+/// optima), records the inverse move as tabu for `tenure` steps (aspiration:
+/// a tabu move that beats the incumbent is allowed), and returns the best
+/// mapping seen.
+[[nodiscard]] Mapping tabuSearch(const EtcMatrix& etc, Mapping start,
+                                 const MappingObjective& objective,
+                                 const TabuOptions& options = {});
+
+/// Steepest-descent local search: repeatedly applies the single-application
+/// reassignment that most improves `objective`, until no move improves.
+[[nodiscard]] Mapping localSearch(const EtcMatrix& etc, Mapping start,
+                                  const MappingObjective& objective,
+                                  int maxRounds = 1000);
+
+/// Options for simulated annealing.
+struct AnnealingOptions {
+  int iterations = 20000;
+  double initialTemperature = 1.0;  ///< scaled by the start objective value
+  double coolingRate = 0.999;
+  std::uint64_t seed = 1;
+};
+
+/// Simulated annealing over single-application reassignments for an
+/// arbitrary assignment problem: only the mapping shape (apps x machines)
+/// and the objective are needed. This is the entry point for non-ETC
+/// systems (e.g. maximizing the HiPer-D robustness metric over mappings).
+[[nodiscard]] Mapping annealMapping(std::size_t apps, std::size_t machines,
+                                    Mapping start,
+                                    const MappingObjective& objective,
+                                    const AnnealingOptions& options = {});
+
+/// Simulated annealing over single-application reassignments (ETC-shaped
+/// convenience wrapper around annealMapping).
+[[nodiscard]] Mapping simulatedAnnealing(const EtcMatrix& etc, Mapping start,
+                                         const MappingObjective& objective,
+                                         const AnnealingOptions& options = {});
+
+/// Options for the genetic algorithm.
+struct GeneticOptions {
+  int populationSize = 60;
+  int generations = 200;
+  double crossoverRate = 0.9;
+  double mutationRate = 0.05;   ///< per-gene reassignment probability
+  int tournamentSize = 3;
+  int eliteCount = 2;
+  std::uint64_t seed = 1;
+};
+
+/// Genetic algorithm over assignment vectors (uniform crossover, per-gene
+/// mutation, tournament selection, elitism). Population is seeded with the
+/// provided mapping plus random ones.
+[[nodiscard]] Mapping geneticAlgorithm(const EtcMatrix& etc, Mapping seedMapping,
+                                       const MappingObjective& objective,
+                                       const GeneticOptions& options = {});
+
+/// Registry entry for the constructive heuristics, used by the comparison
+/// example/bench to iterate over all of them.
+struct HeuristicEntry {
+  std::string name;
+  Mapping (*build)(const EtcMatrix&);
+};
+
+/// All constructive (non-randomized) heuristics above.
+[[nodiscard]] const std::vector<HeuristicEntry>& constructiveHeuristics();
+
+}  // namespace robust::sched

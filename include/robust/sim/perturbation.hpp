@@ -1,0 +1,49 @@
+// Perturbation models: how actual execution times deviate from estimates.
+//
+// The metric makes a worst-case statement over a norm ball; real systems
+// perturb stochastically. These models generate actual-time vectors from
+// estimates so the executor can measure realized behavior, and the
+// worst-case generator produces the adversarial perturbation the metric is
+// tight against (the critical direction of Section 3.1's observations).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "robust/scheduling/independent_system.hpp"
+#include "robust/util/rng.hpp"
+
+namespace robust::sim {
+
+/// Stochastic error model families.
+enum class ErrorModel {
+  GaussianRelative,    ///< actual = estimate * (1 + magnitude * N(0,1)), >= 0
+  GammaMultiplicative, ///< actual = estimate * Gamma(mean 1, cv magnitude)
+  UniformRelative,     ///< actual = estimate * U(1 - magnitude, 1 + magnitude)
+};
+
+/// Human-readable model name.
+[[nodiscard]] std::string toString(ErrorModel model);
+
+/// A stochastic perturbation: model family plus magnitude (the relative
+/// error scale; interpretation per family above).
+struct PerturbationModel {
+  ErrorModel model = ErrorModel::GaussianRelative;
+  double magnitude = 0.1;
+
+  /// Samples an actual-time vector for the given estimates. Negative draws
+  /// are clamped to zero (execution times cannot be negative).
+  [[nodiscard]] std::vector<double> sample(
+      std::span<const double> estimates, Pcg32& rng) const;
+};
+
+/// The adversarial perturbation of norm `radius`: actual times moved from
+/// the estimates straight toward the binding machine's boundary (the
+/// direction of the critical point C*, Section 3.1 observations 1-2).
+/// For radius <= rho the resulting makespan stays within tau * M_orig with
+/// equality at radius == rho; beyond it, the requirement breaks — the
+/// fastest way any perturbation of that size can break it.
+[[nodiscard]] std::vector<double> worstCasePerturbation(
+    const sched::IndependentTaskSystem& system, double radius);
+
+}  // namespace robust::sim

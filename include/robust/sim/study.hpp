@@ -1,0 +1,44 @@
+// Monte-Carlo robustness studies: run a mapping many times under a
+// stochastic perturbation model and relate the realized outcomes to the
+// metric's guarantee.
+//
+// The guarantee (Section 3.1): whenever the sampled error vector's norm is
+// at most rho, the realized makespan is at most tau * M_orig. The study
+// counts guarantee-covered trials (must never violate) separately from
+// larger perturbations (may or may not violate — the metric is worst-case,
+// so most larger perturbations still succeed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "robust/sim/executor.hpp"
+#include "robust/sim/perturbation.hpp"
+
+namespace robust::sim {
+
+/// Aggregated outcomes of one (model, magnitude) study point.
+struct StudyPoint {
+  double magnitude = 0.0;         ///< the model's relative error scale
+  double meanErrorNorm = 0.0;     ///< mean ||actual - estimate||_2, in units
+                                  ///< of rho (so 1.0 = at the radius)
+  double violationRate = 0.0;     ///< fraction of trials beyond tau * M_orig
+  double meanMakespanRatio = 0.0; ///< mean realized M / M_orig
+  double p95MakespanRatio = 0.0;  ///< 95th percentile of realized M / M_orig
+  int coveredTrials = 0;          ///< trials with ||error|| <= rho
+  int coveredViolations = 0;      ///< of those, violations (MUST be 0)
+};
+
+/// Study configuration.
+struct StudyOptions {
+  ErrorModel model = ErrorModel::GaussianRelative;
+  std::vector<double> magnitudes = {0.02, 0.05, 0.1, 0.2, 0.4};
+  int trials = 2000;              ///< per magnitude
+  std::uint64_t seed = 1;
+};
+
+/// Runs the study for one mapping. Deterministic in (options, seed).
+[[nodiscard]] std::vector<StudyPoint> runMakespanStudy(
+    const sched::IndependentTaskSystem& system, const StudyOptions& options);
+
+}  // namespace robust::sim

@@ -1,0 +1,57 @@
+// Error handling primitives shared by all robustalloc libraries.
+//
+// The library prefers exceptions for contract violations at the public API
+// boundary (invalid dimensions, malformed systems) and numeric failure
+// reporting (non-convergence), per the C++ Core Guidelines (E.2, E.3).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace robust {
+
+/// Thrown when a caller violates a documented precondition of a public API
+/// (e.g. mismatched vector dimensions, an application index out of range).
+class InvalidArgumentError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an object is used in a state that does not permit the
+/// requested operation (e.g. querying paths before a graph is finalized).
+class StateError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an iterative numeric routine fails to converge within its
+/// configured budget. Carries the best iterate's residual for diagnostics.
+class ConvergenceError : public std::runtime_error {
+ public:
+  ConvergenceError(const std::string& what, double residual)
+      : std::runtime_error(what), residual_(residual) {}
+
+  /// Residual of the best iterate when the routine gave up.
+  [[nodiscard]] double residual() const noexcept { return residual_; }
+
+ private:
+  double residual_;
+};
+
+namespace detail {
+[[noreturn]] void throwInvalidArgument(const char* file, int line,
+                                       const std::string& message);
+}  // namespace detail
+
+/// Precondition check used at public API boundaries. Unlike assert() it is
+/// active in release builds: robustness analyses are frequently driven by
+/// generated scenarios, and silent out-of-bounds indexing would invalidate
+/// every downstream number.
+#define ROBUST_REQUIRE(cond, message)                                        \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::robust::detail::throwInvalidArgument(__FILE__, __LINE__, (message)); \
+    }                                                                        \
+  } while (false)
+
+}  // namespace robust

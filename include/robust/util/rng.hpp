@@ -1,0 +1,123 @@
+// Deterministic, hand-rolled pseudo-random number generators.
+//
+// The experiments in the paper (Figs. 3-4, Table 2) are defined by random
+// instances. std::mt19937 + std::gamma_distribution would make the generated
+// instances implementation-defined (libstdc++ vs libc++ disagree on the
+// variate sequences), so the library hand-rolls both the bit source (PCG32)
+// and every distribution on top of it (see robust/random/*). Results are
+// therefore reproducible bit-for-bit across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace robust {
+
+/// SplitMix64: tiny 64-bit generator, used to seed and to derive independent
+/// substreams from a single user seed (one hop per stream id).
+class SplitMix64 {
+ public:
+  /// Constructs a generator whose first outputs are determined by `seed`.
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Returns the next 64-bit value and advances the state.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// PCG32 (O'Neill, pcg-random.org): 64-bit state, 32-bit output, with an
+/// explicit stream id so that independent experiment components (ETC rows,
+/// mapping draws, coefficient tensors) never share a sequence.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  /// Default stream: seed 0, stream 0 (still a valid, full-period generator).
+  constexpr Pcg32() noexcept { reseed(0x853c49e6748fea9bULL, 0xda3e39cb94b95bdbULL); }
+
+  /// Seeds the generator; distinct `stream` values yield statistically
+  /// independent sequences for the same `seed`.
+  explicit constexpr Pcg32(std::uint64_t seed, std::uint64_t stream = 0) noexcept {
+    reseed(seed, stream);
+  }
+
+  /// Re-initializes state exactly as the matching constructor would.
+  constexpr void reseed(std::uint64_t seed, std::uint64_t stream = 0) noexcept {
+    inc_ = (stream << 1u) | 1u;
+    state_ = 0u;
+    (void)next();
+    state_ += seed;
+    (void)next();
+  }
+
+  /// Returns the next 32-bit value.
+  constexpr std::uint32_t next() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform double in [0, 1) with 32 bits of resolution.
+  constexpr double nextDouble() noexcept {
+    return static_cast<double>(next()) * 0x1.0p-32;
+  }
+
+  /// Uniform double in (0, 1) — never exactly 0; safe as a log() argument.
+  constexpr double nextDoubleOpen() noexcept {
+    return (static_cast<double>(next()) + 0.5) * 0x1.0p-32;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * nextDouble();
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's unbiased method.
+  constexpr std::uint32_t nextBounded(std::uint32_t bound) noexcept {
+    // Rejection step guarantees exact uniformity for every bound.
+    std::uint64_t m = static_cast<std::uint64_t>(next()) * bound;
+    auto lo = static_cast<std::uint32_t>(m);
+    if (lo < bound) {
+      const std::uint32_t threshold = (0u - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<std::uint64_t>(next()) * bound;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  // UniformRandomBitGenerator interface (usable with <algorithm> shuffles).
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+  constexpr result_type operator()() noexcept { return next(); }
+
+ private:
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 1;
+};
+
+/// Derives a child generator for substream `id` from a master seed. Used so
+/// that e.g. mapping #457 of an experiment sees the same randomness no matter
+/// how many threads evaluated mappings #0..#456.
+[[nodiscard]] constexpr Pcg32 makeStream(std::uint64_t seed,
+                                         std::uint64_t id) noexcept {
+  SplitMix64 mix(seed ^ (0x9e3779b97f4a7c15ULL * (id + 1)));
+  const std::uint64_t s = mix.next();
+  const std::uint64_t inc = mix.next();
+  return Pcg32(s, inc);
+}
+
+}  // namespace robust

@@ -1,0 +1,65 @@
+// Descriptive statistics used by the experiment harnesses: summaries,
+// Pearson correlation, least-squares lines (the Fig. 3 cluster analysis) and
+// histograms (the Fig. 4 plateau analysis).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace robust {
+
+/// Five-number-ish summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+
+  /// Coefficient of variation (stddev / mean); the paper's "heterogeneity".
+  [[nodiscard]] double heterogeneity() const noexcept {
+    return mean != 0.0 ? stddev / mean : 0.0;
+  }
+};
+
+/// Computes a Summary of `xs`. Empty input yields a zeroed summary.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Pearson correlation coefficient of paired samples (NaN if degenerate).
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys);
+
+/// Least-squares line y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination of the fit
+};
+
+/// Fits a least-squares line through the paired samples.
+[[nodiscard]] LinearFit fitLine(std::span<const double> xs,
+                                std::span<const double> ys);
+
+/// Equal-width histogram over [min, max] of the sample.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::size_t> counts;
+
+  [[nodiscard]] double binWidth() const noexcept {
+    return counts.empty() ? 0.0
+                          : (hi - lo) / static_cast<double>(counts.size());
+  }
+};
+
+/// Builds a histogram with `bins` equal-width bins spanning the sample range.
+[[nodiscard]] Histogram makeHistogram(std::span<const double> xs,
+                                      std::size_t bins);
+
+/// Sample quantile (linear interpolation between order statistics), q in [0,1].
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+}  // namespace robust

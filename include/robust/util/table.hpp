@@ -1,0 +1,47 @@
+// Plain-text table and CSV emission for the figure/table harnesses.
+//
+// Every bench binary prints (a) a CSV block that regenerates the paper's
+// figure series and (b) aligned human-readable tables for the paper's tables.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace robust {
+
+/// Column-aligned plain-text table with a header row.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void addRow(std::vector<std::string> cells);
+
+  /// Renders the table (header, rule, rows) to `os`.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal CSV writer; quotes cells containing separators.
+class CsvWriter {
+ public:
+  /// Writes rows to `os`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Writes one row of cells.
+  void writeRow(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& os_;
+};
+
+/// Formats a double with `precision` significant-looking decimal digits.
+[[nodiscard]] std::string formatDouble(double value, int precision = 4);
+
+}  // namespace robust

@@ -1,0 +1,12 @@
+#include "robust/core/feature.hpp"
+
+#include "robust/util/error.hpp"
+
+namespace robust::core {
+
+ToleranceBounds ToleranceBounds::between(double lo, double hi) {
+  ROBUST_REQUIRE(lo <= hi, "ToleranceBounds: lo must not exceed hi");
+  return ToleranceBounds{lo, hi};
+}
+
+}  // namespace robust::core

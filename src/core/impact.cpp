@@ -1,0 +1,65 @@
+#include "robust/core/impact.hpp"
+
+#include "robust/util/error.hpp"
+
+namespace robust::core {
+
+ImpactFunction ImpactFunction::affine(num::Vec weights, double constant) {
+  ROBUST_REQUIRE(!weights.empty(), "ImpactFunction::affine: empty weights");
+  ImpactFunction impact;
+  impact.affine_ = Affine{std::move(weights), constant};
+  return impact;
+}
+
+ImpactFunction ImpactFunction::callable(num::ScalarField f,
+                                        num::GradientField gradient) {
+  ROBUST_REQUIRE(static_cast<bool>(f), "ImpactFunction::callable: null f");
+  ImpactFunction impact;
+  impact.fn_ = std::move(f);
+  impact.gradient_ = std::move(gradient);
+  return impact;
+}
+
+double ImpactFunction::evaluate(std::span<const double> x) const {
+  if (affine_) {
+    return num::dot(affine_->weights, x) + affine_->constant;
+  }
+  return fn_(x);
+}
+
+const num::Vec& ImpactFunction::weights() const {
+  ROBUST_REQUIRE(affine_.has_value(), "ImpactFunction: not affine");
+  return affine_->weights;
+}
+
+double ImpactFunction::constant() const {
+  ROBUST_REQUIRE(affine_.has_value(), "ImpactFunction: not affine");
+  return affine_->constant;
+}
+
+num::ScalarField ImpactFunction::field() const {
+  if (affine_) {
+    const Affine a = *affine_;  // copy into the closure; self-contained
+    return [a](std::span<const double> x) {
+      return num::dot(a.weights, x) + a.constant;
+    };
+  }
+  return fn_;
+}
+
+num::GradientField ImpactFunction::gradientField() const {
+  if (affine_) {
+    const num::Vec w = affine_->weights;
+    return [w](std::span<const double>) { return w; };
+  }
+  return gradient_;
+}
+
+std::optional<std::size_t> ImpactFunction::dimension() const {
+  if (affine_) {
+    return affine_->weights.size();
+  }
+  return std::nullopt;
+}
+
+}  // namespace robust::core

@@ -1,0 +1,42 @@
+#include "robust/core/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "robust/util/error.hpp"
+
+namespace robust::core {
+
+SensitivityReport sensitivityOf(const RadiusReport& radius,
+                                const PerturbationParameter& parameter) {
+  ROBUST_REQUIRE(std::isfinite(radius.radius),
+                 "sensitivityOf: radius is not finite (no boundary)");
+  ROBUST_REQUIRE(radius.boundaryPoint.size() == parameter.origin.size(),
+                 "sensitivityOf: boundary point does not match parameter");
+
+  SensitivityReport report;
+  report.feature = radius.feature;
+  report.direction = num::sub(radius.boundaryPoint, parameter.origin);
+  const double norm = num::norm2(report.direction);
+  if (norm > 0.0) {
+    report.direction = num::scale(report.direction, 1.0 / norm);
+  }
+  report.ranking.resize(parameter.origin.size());
+  for (std::size_t i = 0; i < report.ranking.size(); ++i) {
+    report.ranking[i] = i;
+  }
+  std::stable_sort(report.ranking.begin(), report.ranking.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return std::fabs(report.direction[a]) >
+                            std::fabs(report.direction[b]);
+                   });
+  return report;
+}
+
+SensitivityReport bindingSensitivity(const RobustnessReport& report,
+                                     const PerturbationParameter& parameter) {
+  ROBUST_REQUIRE(!report.radii.empty(), "bindingSensitivity: empty report");
+  return sensitivityOf(report.radii[report.bindingFeature], parameter);
+}
+
+}  // namespace robust::core

@@ -1,0 +1,241 @@
+#include "robust/hiperd/scenario_io.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "robust/util/error.hpp"
+
+namespace robust::hiperd {
+
+namespace {
+
+const char* kindTag(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::Sensor:
+      return "s";
+    case NodeKind::Application:
+      return "a";
+    case NodeKind::Actuator:
+      return "t";
+  }
+  return "?";
+}
+
+NodeKind parseKind(const std::string& tag) {
+  if (tag == "s") {
+    return NodeKind::Sensor;
+  }
+  if (tag == "a") {
+    return NodeKind::Application;
+  }
+  if (tag == "t") {
+    return NodeKind::Actuator;
+  }
+  throw InvalidArgumentError("loadScenario: unknown node kind '" + tag + "'");
+}
+
+std::string preciseDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Reads one whitespace token; throws with context on EOF.
+std::string token(std::istream& is, const char* context) {
+  std::string t;
+  if (!(is >> t)) {
+    throw InvalidArgumentError(
+        std::string("loadScenario: unexpected end of input while reading ") +
+        context);
+  }
+  return t;
+}
+
+double numToken(std::istream& is, const char* context) {
+  const std::string t = token(is, context);
+  char* end = nullptr;
+  const double v = std::strtod(t.c_str(), &end);
+  ROBUST_REQUIRE(end != t.c_str() && *end == '\0',
+                 std::string("loadScenario: expected a number for ") +
+                     context + ", got '" + t + "'");
+  return v;
+}
+
+std::size_t sizeToken(std::istream& is, const char* context) {
+  const double v = numToken(is, context);
+  ROBUST_REQUIRE(v >= 0.0 && v == static_cast<double>(
+                                      static_cast<std::size_t>(v)),
+                 std::string("loadScenario: expected a count for ") + context);
+  return static_cast<std::size_t>(v);
+}
+
+void expectKeyword(std::istream& is, const std::string& keyword) {
+  const std::string t = token(is, keyword.c_str());
+  ROBUST_REQUIRE(t == keyword, "loadScenario: expected '" + keyword +
+                                   "', got '" + t + "'");
+}
+
+}  // namespace
+
+void saveScenario(const HiperdScenario& scenario, std::ostream& os) {
+  validateScenario(scenario);
+  const SystemGraph& g = scenario.graph;
+  const std::size_t sensors = g.sensorCount();
+
+  for (const auto& perMachine : scenario.compute) {
+    for (const auto& fn : perMachine) {
+      ROBUST_REQUIRE(fn.isLinear(),
+                     "saveScenario: only linear compute functions serialize");
+    }
+  }
+  for (const auto& fn : scenario.comm) {
+    ROBUST_REQUIRE(fn.isLinear(),
+                   "saveScenario: only linear comm functions serialize");
+  }
+
+  os << "hiperd-scenario v1\n";
+  os << "sensors " << sensors << '\n';
+  for (std::size_t s = 0; s < sensors; ++s) {
+    os << g.sensorName(s) << ' ' << preciseDouble(g.sensorRate(s)) << '\n';
+  }
+  os << "applications " << g.applicationCount() << '\n';
+  for (std::size_t a = 0; a < g.applicationCount(); ++a) {
+    os << g.applicationName(a) << '\n';
+  }
+  os << "actuators " << g.actuatorCount() << '\n';
+  for (std::size_t t = 0; t < g.actuatorCount(); ++t) {
+    os << g.actuatorName(t) << '\n';
+  }
+  os << "edges " << g.edgeCount() << '\n';
+  for (std::size_t e = 0; e < g.edgeCount(); ++e) {
+    const Edge& edge = g.edge(e);
+    os << kindTag(edge.from.kind) << ' ' << edge.from.index << ' '
+       << kindTag(edge.to.kind) << ' ' << edge.to.index << ' '
+       << (edge.trigger ? 1 : 0) << '\n';
+  }
+  os << "machines " << scenario.machines << '\n';
+  os << "lambda";
+  for (double l : scenario.lambdaOrig) {
+    os << ' ' << preciseDouble(l);
+  }
+  os << '\n';
+  os << "latency_limits " << scenario.latencyLimits.size() << '\n';
+  for (double limit : scenario.latencyLimits) {
+    os << preciseDouble(limit) << '\n';
+  }
+  os << "compute\n";
+  for (std::size_t a = 0; a < scenario.compute.size(); ++a) {
+    for (std::size_t m = 0; m < scenario.compute[a].size(); ++m) {
+      os << a << ' ' << m;
+      for (double c : scenario.compute[a][m].coeffs()) {
+        os << ' ' << preciseDouble(c);
+      }
+      os << '\n';
+    }
+  }
+  os << "comm\n";
+  for (std::size_t e = 0; e < scenario.comm.size(); ++e) {
+    os << e;
+    for (double c : scenario.comm[e].coeffs()) {
+      os << ' ' << preciseDouble(c);
+    }
+    os << '\n';
+  }
+}
+
+HiperdScenario loadScenario(std::istream& is) {
+  expectKeyword(is, "hiperd-scenario");
+  expectKeyword(is, "v1");
+
+  HiperdScenario scenario;
+  SystemGraph& g = scenario.graph;
+
+  expectKeyword(is, "sensors");
+  const std::size_t sensors = sizeToken(is, "sensor count");
+  for (std::size_t s = 0; s < sensors; ++s) {
+    const std::string name = token(is, "sensor name");
+    const double rate = numToken(is, "sensor rate");
+    g.addSensor(name, rate);
+  }
+  expectKeyword(is, "applications");
+  const std::size_t apps = sizeToken(is, "application count");
+  for (std::size_t a = 0; a < apps; ++a) {
+    g.addApplication(token(is, "application name"));
+  }
+  expectKeyword(is, "actuators");
+  const std::size_t actuators = sizeToken(is, "actuator count");
+  for (std::size_t t = 0; t < actuators; ++t) {
+    g.addActuator(token(is, "actuator name"));
+  }
+  expectKeyword(is, "edges");
+  const std::size_t edges = sizeToken(is, "edge count");
+  for (std::size_t e = 0; e < edges; ++e) {
+    const NodeKind fromKind = parseKind(token(is, "edge source kind"));
+    const auto fromIndex = sizeToken(is, "edge source index");
+    const NodeKind toKind = parseKind(token(is, "edge target kind"));
+    const auto toIndex = sizeToken(is, "edge target index");
+    const auto trigger = sizeToken(is, "edge trigger flag");
+    ROBUST_REQUIRE(trigger <= 1, "loadScenario: trigger flag must be 0 or 1");
+    g.addEdge(NodeRef{fromKind, fromIndex}, NodeRef{toKind, toIndex},
+              trigger == 1);
+  }
+  g.finalize();
+
+  expectKeyword(is, "machines");
+  scenario.machines = sizeToken(is, "machine count");
+
+  expectKeyword(is, "lambda");
+  scenario.lambdaOrig.resize(sensors);
+  for (std::size_t s = 0; s < sensors; ++s) {
+    scenario.lambdaOrig[s] = numToken(is, "lambda component");
+  }
+
+  expectKeyword(is, "latency_limits");
+  const std::size_t limits = sizeToken(is, "latency limit count");
+  ROBUST_REQUIRE(limits == g.paths().size(),
+                 "loadScenario: stored latency-limit count does not match "
+                 "the re-enumerated path count");
+  scenario.latencyLimits.resize(limits);
+  for (std::size_t k = 0; k < limits; ++k) {
+    scenario.latencyLimits[k] = numToken(is, "latency limit");
+  }
+
+  expectKeyword(is, "compute");
+  scenario.compute.assign(apps, {});
+  for (std::size_t a = 0; a < apps; ++a) {
+    scenario.compute[a].reserve(scenario.machines);
+  }
+  for (std::size_t row = 0; row < apps * scenario.machines; ++row) {
+    const std::size_t a = sizeToken(is, "compute app index");
+    const std::size_t m = sizeToken(is, "compute machine index");
+    ROBUST_REQUIRE(a < apps && m < scenario.machines,
+                   "loadScenario: compute index out of range");
+    ROBUST_REQUIRE(scenario.compute[a].size() == m,
+                   "loadScenario: compute rows out of order");
+    num::Vec coeffs(sensors);
+    for (std::size_t s = 0; s < sensors; ++s) {
+      coeffs[s] = numToken(is, "compute coefficient");
+    }
+    scenario.compute[a].push_back(LoadFunction::linear(std::move(coeffs)));
+  }
+
+  expectKeyword(is, "comm");
+  scenario.comm.reserve(edges);
+  for (std::size_t e = 0; e < edges; ++e) {
+    const std::size_t id = sizeToken(is, "comm edge index");
+    ROBUST_REQUIRE(id == e, "loadScenario: comm rows out of order");
+    num::Vec coeffs(sensors);
+    for (std::size_t s = 0; s < sensors; ++s) {
+      coeffs[s] = numToken(is, "comm coefficient");
+    }
+    scenario.comm.push_back(LoadFunction::linear(std::move(coeffs)));
+  }
+
+  validateScenario(scenario);
+  return scenario;
+}
+
+}  // namespace robust::hiperd

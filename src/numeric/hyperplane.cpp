@@ -1,0 +1,40 @@
+#include "robust/numeric/hyperplane.hpp"
+
+#include <cmath>
+
+#include "robust/util/error.hpp"
+
+namespace robust::num {
+
+double Hyperplane::signedDistance(std::span<const double> point) const {
+  const double n = norm2(normal);
+  ROBUST_REQUIRE(n > 0.0, "Hyperplane: zero normal");
+  return (dot(normal, point) - offset) / n;
+}
+
+double Hyperplane::distance(std::span<const double> point) const {
+  return std::fabs(signedDistance(point));
+}
+
+Vec Hyperplane::project(std::span<const double> point) const {
+  const double n2 = dot(normal, normal);
+  ROBUST_REQUIRE(n2 > 0.0, "Hyperplane: zero normal");
+  const double t = (offset - dot(normal, point)) / n2;
+  Vec out(point.begin(), point.end());
+  axpy(t, normal, out);
+  return out;
+}
+
+double Hyperplane::evaluate(std::span<const double> point) const {
+  return dot(normal, point) - offset;
+}
+
+Hyperplane boundaryOfAffine(std::span<const double> weights, double constant,
+                            double level) {
+  ROBUST_REQUIRE(norm2(weights) > 0.0,
+                 "boundaryOfAffine: impact function does not depend on the "
+                 "perturbation parameter");
+  return Hyperplane{Vec(weights.begin(), weights.end()), level - constant};
+}
+
+}  // namespace robust::num

@@ -1,0 +1,159 @@
+#include "robust/numeric/matrix.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "robust/util/error.hpp"
+
+namespace robust::num {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+  ROBUST_REQUIRE(rows > 0 && cols > 0, "Matrix: dimensions must be positive");
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) = 1.0;
+  }
+  return m;
+}
+
+Vec Matrix::multiply(std::span<const double> x) const {
+  ROBUST_REQUIRE(x.size() == cols_, "Matrix::multiply: dimension mismatch");
+  Vec y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      s += (*this)(r, c) * x[c];
+    }
+    y[r] = s;
+  }
+  return y;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+LuDecomposition::LuDecomposition(Matrix a)
+    : lu_(std::move(a)), perm_(lu_.rows()) {
+  ROBUST_REQUIRE(lu_.rows() == lu_.cols(), "LU: matrix must be square");
+  const std::size_t n = lu_.rows();
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest-magnitude entry in column k.
+    std::size_t pivot = k;
+    double best = std::fabs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::fabs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) {
+      throw ConvergenceError("LU: matrix is numerically singular", best);
+    }
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_(k, c), lu_(pivot, c));
+      }
+      std::swap(perm_[k], perm_[pivot]);
+      permSign_ = -permSign_;
+    }
+    for (std::size_t r = k + 1; r < n; ++r) {
+      lu_(r, k) /= lu_(k, k);
+      const double factor = lu_(r, k);
+      for (std::size_t c = k + 1; c < n; ++c) {
+        lu_(r, c) -= factor * lu_(k, c);
+      }
+    }
+  }
+}
+
+Vec LuDecomposition::solve(std::span<const double> b) const {
+  const std::size_t n = lu_.rows();
+  ROBUST_REQUIRE(b.size() == n, "LU::solve: dimension mismatch");
+  Vec x(n);
+  // Forward substitution with the permutation applied (L has unit diagonal).
+  for (std::size_t r = 0; r < n; ++r) {
+    double s = b[perm_[r]];
+    for (std::size_t c = 0; c < r; ++c) {
+      s -= lu_(r, c) * x[c];
+    }
+    x[r] = s;
+  }
+  // Back substitution with U.
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = x[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) {
+      s -= lu_(ri, c) * x[c];
+    }
+    x[ri] = s / lu_(ri, ri);
+  }
+  return x;
+}
+
+double LuDecomposition::determinant() const {
+  double det = permSign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) {
+    det *= lu_(i, i);
+  }
+  return det;
+}
+
+CholeskyDecomposition::CholeskyDecomposition(const Matrix& a)
+    : l_(a.rows(), a.cols()) {
+  ROBUST_REQUIRE(a.rows() == a.cols(), "Cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c <= r; ++c) {
+      double s = a(r, c);
+      for (std::size_t k = 0; k < c; ++k) {
+        s -= l_(r, k) * l_(c, k);
+      }
+      if (r == c) {
+        if (s <= 0.0) {
+          throw ConvergenceError("Cholesky: matrix is not positive definite",
+                                 s);
+        }
+        l_(r, c) = std::sqrt(s);
+      } else {
+        l_(r, c) = s / l_(c, c);
+      }
+    }
+  }
+}
+
+Vec CholeskyDecomposition::solve(std::span<const double> b) const {
+  const std::size_t n = l_.rows();
+  ROBUST_REQUIRE(b.size() == n, "Cholesky::solve: dimension mismatch");
+  Vec y(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double s = b[r];
+    for (std::size_t c = 0; c < r; ++c) {
+      s -= l_(r, c) * y[c];
+    }
+    y[r] = s / l_(r, r);
+  }
+  Vec x(n);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = y[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) {
+      s -= l_(c, ri) * x[c];
+    }
+    x[ri] = s / l_(ri, ri);
+  }
+  return x;
+}
+
+}  // namespace robust::num

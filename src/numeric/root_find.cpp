@@ -1,0 +1,151 @@
+#include "robust/numeric/root_find.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "robust/util/error.hpp"
+
+namespace robust::num {
+
+std::optional<std::pair<double, double>> expandBracket(const ScalarFn1D& f,
+                                                       double lo, double hi,
+                                                       double limit,
+                                                       int maxDoublings) {
+  ROBUST_REQUIRE(hi > lo, "expandBracket: hi must exceed lo");
+  double flo = f(lo);
+  double fhi = f(hi);
+  for (int i = 0; i < maxDoublings; ++i) {
+    if (flo == 0.0) {
+      return std::make_pair(lo, lo);
+    }
+    if (flo * fhi <= 0.0) {
+      return std::make_pair(lo, hi);
+    }
+    if (hi >= limit) {
+      return std::nullopt;
+    }
+    const double width = hi - lo;
+    lo = hi;
+    flo = fhi;
+    hi = std::min(limit, hi + 2.0 * width);
+    fhi = f(hi);
+  }
+  return std::nullopt;
+}
+
+RootResult bisect(const ScalarFn1D& f, double lo, double hi,
+                  const RootOptions& options) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  ROBUST_REQUIRE(flo * fhi <= 0.0, "bisect: interval does not bracket a root");
+  RootResult result;
+  for (int i = 0; i < options.maxIterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    ++result.iterations;
+    if (std::fabs(fmid) <= options.fTol || (hi - lo) * 0.5 <= options.xTol) {
+      result.x = mid;
+      result.fx = fmid;
+      return result;
+    }
+    if (flo * fmid <= 0.0) {
+      hi = mid;
+      fhi = fmid;
+    } else {
+      lo = mid;
+      flo = fmid;
+    }
+  }
+  result.x = 0.5 * (lo + hi);
+  result.fx = f(result.x);
+  return result;
+}
+
+RootResult brent(const ScalarFn1D& f, double lo, double hi,
+                 const RootOptions& options) {
+  double a = lo;
+  double b = hi;
+  double c = hi;
+  double fa = f(a);
+  double fb = f(b);
+  ROBUST_REQUIRE(fa * fb <= 0.0, "brent: interval does not bracket a root");
+  double fc = fb;
+  double d = b - a;
+  double e = d;
+  RootResult result;
+
+  for (int i = 0; i < options.maxIterations; ++i) {
+    ++result.iterations;
+    if ((fb > 0.0 && fc > 0.0) || (fb < 0.0 && fc < 0.0)) {
+      // Root is bracketed by [a, b]; move c to the opposite side of b.
+      c = a;
+      fc = fa;
+      d = b - a;
+      e = d;
+    }
+    if (std::fabs(fc) < std::fabs(fb)) {
+      // Keep b the best (smallest-residual) iterate.
+      a = b;
+      b = c;
+      c = a;
+      fa = fb;
+      fb = fc;
+      fc = fa;
+    }
+    const double tol1 =
+        2.0 * std::numeric_limits<double>::epsilon() * std::fabs(b) +
+        0.5 * options.xTol;
+    const double xm = 0.5 * (c - b);
+    if (std::fabs(xm) <= tol1 || std::fabs(fb) <= options.fTol) {
+      result.x = b;
+      result.fx = fb;
+      return result;
+    }
+    if (std::fabs(e) >= tol1 && std::fabs(fa) > std::fabs(fb)) {
+      // Attempt inverse quadratic interpolation (secant when a == c).
+      const double s = fb / fa;
+      double p;
+      double q;
+      if (a == c) {
+        p = 2.0 * xm * s;
+        q = 1.0 - s;
+      } else {
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * xm * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) {
+        q = -q;
+      }
+      p = std::fabs(p);
+      const double min1 = 3.0 * xm * q - std::fabs(tol1 * q);
+      const double min2 = std::fabs(e * q);
+      if (2.0 * p < std::min(min1, min2)) {
+        e = d;  // interpolation accepted
+        d = p / q;
+      } else {
+        d = xm;  // interpolation rejected; bisect
+        e = d;
+      }
+    } else {
+      d = xm;
+      e = d;
+    }
+    a = b;
+    fa = fb;
+    if (std::fabs(d) > tol1) {
+      b += d;
+    } else {
+      b += xm > 0.0 ? tol1 : -tol1;
+    }
+    fb = f(b);
+  }
+  result.x = b;
+  result.fx = fb;
+  return result;
+}
+
+}  // namespace robust::num

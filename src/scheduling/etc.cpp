@@ -1,0 +1,71 @@
+#include "robust/scheduling/etc.hpp"
+
+#include <algorithm>
+
+#include "robust/random/distributions.hpp"
+#include "robust/util/error.hpp"
+
+namespace robust::sched {
+
+EtcMatrix::EtcMatrix(std::size_t apps, std::size_t machines)
+    : apps_(apps), machines_(machines), data_(apps * machines, 0.0) {
+  ROBUST_REQUIRE(apps > 0 && machines > 0,
+                 "EtcMatrix: dimensions must be positive");
+}
+
+EtcMatrix generateEtc(const EtcOptions& options, Pcg32& rng) {
+  ROBUST_REQUIRE(options.meanTaskTime > 0.0,
+                 "generateEtc: meanTaskTime must be positive");
+  ROBUST_REQUIRE(options.taskHeterogeneity >= 0.0 &&
+                     options.machineHeterogeneity >= 0.0,
+                 "generateEtc: heterogeneities must be non-negative");
+
+  EtcMatrix etc(options.apps, options.machines);
+  for (std::size_t i = 0; i < options.apps; ++i) {
+    const double q =
+        rnd::gammaMeanCv(rng, options.meanTaskTime, options.taskHeterogeneity);
+    for (std::size_t j = 0; j < options.machines; ++j) {
+      etc(i, j) = rnd::gammaMeanCv(rng, q, options.machineHeterogeneity);
+    }
+  }
+
+  auto sortRow = [&](std::size_t i) {
+    std::vector<double> row(options.machines);
+    for (std::size_t j = 0; j < options.machines; ++j) {
+      row[j] = etc(i, j);
+    }
+    std::sort(row.begin(), row.end());
+    for (std::size_t j = 0; j < options.machines; ++j) {
+      etc(i, j) = row[j];
+    }
+  };
+  auto sortRowEvenColumns = [&](std::size_t i) {
+    std::vector<double> evens;
+    for (std::size_t j = 0; j < options.machines; j += 2) {
+      evens.push_back(etc(i, j));
+    }
+    std::sort(evens.begin(), evens.end());
+    std::size_t k = 0;
+    for (std::size_t j = 0; j < options.machines; j += 2) {
+      etc(i, j) = evens[k++];
+    }
+  };
+
+  switch (options.consistency) {
+    case EtcConsistency::Inconsistent:
+      break;
+    case EtcConsistency::Consistent:
+      for (std::size_t i = 0; i < options.apps; ++i) {
+        sortRow(i);
+      }
+      break;
+    case EtcConsistency::SemiConsistent:
+      for (std::size_t i = 0; i < options.apps; ++i) {
+        sortRowEvenColumns(i);
+      }
+      break;
+  }
+  return etc;
+}
+
+}  // namespace robust::sched

@@ -1,0 +1,94 @@
+#include "robust/scheduling/etc_io.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "robust/util/error.hpp"
+
+namespace robust::sched {
+
+void saveEtcCsv(const EtcMatrix& etc, std::ostream& os) {
+  os << "app";
+  for (std::size_t j = 0; j < etc.machines(); ++j) {
+    os << ",m" << j;
+  }
+  os << '\n';
+  char buf[64];
+  for (std::size_t i = 0; i < etc.apps(); ++i) {
+    os << 'a' << i;
+    for (std::size_t j = 0; j < etc.machines(); ++j) {
+      // %.17g round-trips IEEE doubles exactly.
+      std::snprintf(buf, sizeof(buf), "%.17g", etc(i, j));
+      os << ',' << buf;
+    }
+    os << '\n';
+  }
+}
+
+namespace {
+
+std::vector<std::string> splitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  for (char c : line) {
+    if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c != '\r') {
+      cell.push_back(c);
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+double parseCell(const std::string& cell) {
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  ROBUST_REQUIRE(end != cell.c_str() && *end == '\0',
+                 "loadEtcCsv: non-numeric cell '" + cell + "'");
+  return v;
+}
+
+}  // namespace
+
+EtcMatrix loadEtcCsv(std::istream& is) {
+  std::string line;
+  ROBUST_REQUIRE(static_cast<bool>(std::getline(is, line)),
+                 "loadEtcCsv: empty input");
+  const auto header = splitCsvLine(line);
+  ROBUST_REQUIRE(header.size() >= 2 && header[0] == "app",
+                 "loadEtcCsv: malformed header");
+  const std::size_t machines = header.size() - 1;
+
+  std::vector<std::vector<double>> rows;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const auto cells = splitCsvLine(line);
+    ROBUST_REQUIRE(cells.size() == machines + 1,
+                   "loadEtcCsv: ragged row '" + line + "'");
+    std::vector<double> row(machines);
+    for (std::size_t j = 0; j < machines; ++j) {
+      row[j] = parseCell(cells[j + 1]);
+    }
+    rows.push_back(std::move(row));
+  }
+  ROBUST_REQUIRE(!rows.empty(), "loadEtcCsv: no application rows");
+
+  EtcMatrix etc(rows.size(), machines);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < machines; ++j) {
+      etc(i, j) = rows[i][j];
+    }
+  }
+  return etc;
+}
+
+}  // namespace robust::sched

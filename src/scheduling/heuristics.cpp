@@ -1,0 +1,528 @@
+#include "robust/scheduling/heuristics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "robust/scheduling/independent_system.hpp"
+#include "robust/util/error.hpp"
+
+namespace robust::sched {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Shared machinery for the list heuristics: pick-and-commit loops over
+/// (application, machine) completion times.
+struct ListState {
+  explicit ListState(const EtcMatrix& matrix)
+      : etc(matrix),
+        available(matrix.machines(), 0.0),
+        assignment(matrix.apps(), 0),
+        mapped(matrix.apps(), false) {}
+
+  const EtcMatrix& etc;
+  std::vector<double> available;  ///< machine availability times
+  std::vector<std::size_t> assignment;
+  std::vector<bool> mapped;
+
+  /// Best (machine, completion time) for application `i` given availability.
+  [[nodiscard]] std::pair<std::size_t, double> bestCompletion(
+      std::size_t i) const {
+    std::size_t bestM = 0;
+    double bestCt = kInf;
+    for (std::size_t j = 0; j < etc.machines(); ++j) {
+      const double ct = available[j] + etc(i, j);
+      if (ct < bestCt) {
+        bestCt = ct;
+        bestM = j;
+      }
+    }
+    return {bestM, bestCt};
+  }
+
+  void commit(std::size_t app, std::size_t machine) {
+    assignment[app] = machine;
+    available[machine] += etc(app, machine);
+    mapped[app] = true;
+  }
+
+  [[nodiscard]] Mapping toMapping() && {
+    return Mapping(std::move(assignment), etc.machines());
+  }
+};
+
+}  // namespace
+
+MappingObjective makespanObjective(const EtcMatrix& etc) {
+  return [&etc](const Mapping& mapping) { return makespan(etc, mapping); };
+}
+
+MappingObjective negatedRobustnessObjective(const EtcMatrix& etc, double tau) {
+  return [&etc, tau](const Mapping& mapping) {
+    const IndependentTaskSystem system(etc, mapping, tau);
+    return -system.analyze().robustness;
+  };
+}
+
+MappingObjective cappedRobustnessObjective(const EtcMatrix& etc, double tau,
+                                           double makespanCap) {
+  ROBUST_REQUIRE(makespanCap > 0.0,
+                 "cappedRobustnessObjective: cap must be positive");
+  return [&etc, tau, makespanCap](const Mapping& mapping) {
+    const double ms = makespan(etc, mapping);
+    if (ms > makespanCap) {
+      return ms - makespanCap;  // infeasible: positive, decreasing to 0
+    }
+    const IndependentTaskSystem system(etc, mapping, tau);
+    return -system.analyze().robustness;  // feasible: negative
+  };
+}
+
+Mapping roundRobinMapping(const EtcMatrix& etc) {
+  std::vector<std::size_t> assignment(etc.apps());
+  for (std::size_t i = 0; i < etc.apps(); ++i) {
+    assignment[i] = i % etc.machines();
+  }
+  return Mapping(std::move(assignment), etc.machines());
+}
+
+Mapping olbMapping(const EtcMatrix& etc) {
+  ListState state(etc);
+  for (std::size_t i = 0; i < etc.apps(); ++i) {
+    const auto earliest =
+        std::min_element(state.available.begin(), state.available.end());
+    state.commit(i, static_cast<std::size_t>(
+                        earliest - state.available.begin()));
+  }
+  return std::move(state).toMapping();
+}
+
+Mapping metMapping(const EtcMatrix& etc) {
+  std::vector<std::size_t> assignment(etc.apps());
+  for (std::size_t i = 0; i < etc.apps(); ++i) {
+    std::size_t bestM = 0;
+    for (std::size_t j = 1; j < etc.machines(); ++j) {
+      if (etc(i, j) < etc(i, bestM)) {
+        bestM = j;
+      }
+    }
+    assignment[i] = bestM;
+  }
+  return Mapping(std::move(assignment), etc.machines());
+}
+
+Mapping mctMapping(const EtcMatrix& etc) {
+  ListState state(etc);
+  for (std::size_t i = 0; i < etc.apps(); ++i) {
+    state.commit(i, state.bestCompletion(i).first);
+  }
+  return std::move(state).toMapping();
+}
+
+Mapping minMinMapping(const EtcMatrix& etc) {
+  ListState state(etc);
+  for (std::size_t round = 0; round < etc.apps(); ++round) {
+    std::size_t pickApp = 0;
+    std::size_t pickMachine = 0;
+    double pickCt = kInf;
+    for (std::size_t i = 0; i < etc.apps(); ++i) {
+      if (state.mapped[i]) {
+        continue;
+      }
+      const auto [m, ct] = state.bestCompletion(i);
+      if (ct < pickCt) {
+        pickCt = ct;
+        pickApp = i;
+        pickMachine = m;
+      }
+    }
+    state.commit(pickApp, pickMachine);
+  }
+  return std::move(state).toMapping();
+}
+
+Mapping maxMinMapping(const EtcMatrix& etc) {
+  ListState state(etc);
+  for (std::size_t round = 0; round < etc.apps(); ++round) {
+    std::size_t pickApp = 0;
+    std::size_t pickMachine = 0;
+    double pickCt = -kInf;
+    for (std::size_t i = 0; i < etc.apps(); ++i) {
+      if (state.mapped[i]) {
+        continue;
+      }
+      const auto [m, ct] = state.bestCompletion(i);
+      if (ct > pickCt) {
+        pickCt = ct;
+        pickApp = i;
+        pickMachine = m;
+      }
+    }
+    state.commit(pickApp, pickMachine);
+  }
+  return std::move(state).toMapping();
+}
+
+Mapping sufferageMapping(const EtcMatrix& etc) {
+  ListState state(etc);
+  for (std::size_t round = 0; round < etc.apps(); ++round) {
+    std::size_t pickApp = 0;
+    std::size_t pickMachine = 0;
+    double pickSufferage = -kInf;
+    for (std::size_t i = 0; i < etc.apps(); ++i) {
+      if (state.mapped[i]) {
+        continue;
+      }
+      // Best and second-best completion times for app i.
+      double best = kInf;
+      double second = kInf;
+      std::size_t bestM = 0;
+      for (std::size_t j = 0; j < etc.machines(); ++j) {
+        const double ct = state.available[j] + etc(i, j);
+        if (ct < best) {
+          second = best;
+          best = ct;
+          bestM = j;
+        } else if (ct < second) {
+          second = ct;
+        }
+      }
+      const double sufferage = second == kInf ? 0.0 : second - best;
+      if (sufferage > pickSufferage) {
+        pickSufferage = sufferage;
+        pickApp = i;
+        pickMachine = bestM;
+      }
+    }
+    state.commit(pickApp, pickMachine);
+  }
+  return std::move(state).toMapping();
+}
+
+Mapping duplexMapping(const EtcMatrix& etc) {
+  Mapping minMin = minMinMapping(etc);
+  Mapping maxMin = maxMinMapping(etc);
+  return makespan(etc, minMin) <= makespan(etc, maxMin) ? minMin : maxMin;
+}
+
+Mapping tabuSearch(const EtcMatrix& etc, Mapping start,
+                   const MappingObjective& objective,
+                   const TabuOptions& options) {
+  ROBUST_REQUIRE(static_cast<bool>(objective), "tabuSearch: null objective");
+  ROBUST_REQUIRE(options.iterations > 0 && options.tenure > 0 &&
+                     options.patience > 0,
+                 "tabuSearch: invalid options");
+
+  Mapping current = std::move(start);
+  double currentValue = objective(current);
+  Mapping best = current;
+  double bestValue = currentValue;
+
+  // tabuUntil[app][machine]: iteration until which assigning `app` back to
+  // `machine` is forbidden (the inverse-move convention).
+  std::vector<std::vector<int>> tabuUntil(
+      etc.apps(), std::vector<int>(etc.machines(), -1));
+  int sinceImprovement = 0;
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    double moveValue = kInf;
+    std::size_t moveApp = 0;
+    std::size_t moveMachine = 0;
+    bool haveMove = false;
+    for (std::size_t i = 0; i < etc.apps(); ++i) {
+      const std::size_t original = current.machineOf(i);
+      for (std::size_t j = 0; j < etc.machines(); ++j) {
+        if (j == original) {
+          continue;
+        }
+        current.assign(i, j);
+        const double value = objective(current);
+        current.assign(i, original);
+        const bool tabu = tabuUntil[i][j] > iter;
+        // Aspiration: a tabu move that improves on the incumbent is allowed.
+        if (tabu && value >= bestValue) {
+          continue;
+        }
+        if (value < moveValue) {
+          moveValue = value;
+          moveApp = i;
+          moveMachine = j;
+          haveMove = true;
+        }
+      }
+    }
+    if (!haveMove) {
+      break;  // entire neighborhood tabu and non-aspiring
+    }
+    const std::size_t from = current.machineOf(moveApp);
+    current.assign(moveApp, moveMachine);
+    currentValue = moveValue;
+    tabuUntil[moveApp][from] = iter + options.tenure;  // forbid the undo
+    if (currentValue < bestValue) {
+      bestValue = currentValue;
+      best = current;
+      sinceImprovement = 0;
+    } else if (++sinceImprovement >= options.patience) {
+      break;
+    }
+  }
+  return best;
+}
+
+Mapping greedyRobustMapping(const EtcMatrix& etc, double tau) {
+  ROBUST_REQUIRE(tau >= 1.0, "greedyRobustMapping: tau must be >= 1");
+
+  // Commit the "biggest" applications first (largest minimum ETC), the
+  // classic list-scheduling order that leaves small tasks for balancing.
+  std::vector<std::size_t> order(etc.apps());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::vector<double> minEtc(etc.apps(), kInf);
+  for (std::size_t i = 0; i < etc.apps(); ++i) {
+    for (std::size_t j = 0; j < etc.machines(); ++j) {
+      minEtc[i] = std::min(minEtc[i], etc(i, j));
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return minEtc[a] > minEtc[b];
+  });
+
+  std::vector<double> load(etc.machines(), 0.0);
+  std::vector<std::size_t> count(etc.machines(), 0);
+  std::vector<std::size_t> assignment(etc.apps(), 0);
+
+  // Normalized partial-mapping robustness: Eq. 7 over the committed
+  // applications, divided by the partial makespan. The normalization
+  // removes the metric's makespan-inflation degeneracy (Eq. 6 scales with
+  // tau * M, so raw rho rewards piling work onto one machine); rho / M is
+  // scale-free and rewards balanced, genuinely robust placements.
+  auto normalizedRobustness = [&]() {
+    double makespanNow = 0.0;
+    for (double f : load) {
+      makespanNow = std::max(makespanNow, f);
+    }
+    double rho = kInf;
+    for (std::size_t j = 0; j < etc.machines(); ++j) {
+      if (count[j] > 0) {
+        rho = std::min(rho, (tau * makespanNow - load[j]) /
+                                std::sqrt(static_cast<double>(count[j])));
+      }
+    }
+    return rho / makespanNow;
+  };
+
+  for (std::size_t app : order) {
+    std::size_t bestMachine = 0;
+    double bestRho = -kInf;
+    double bestCompletion = kInf;
+    for (std::size_t j = 0; j < etc.machines(); ++j) {
+      load[j] += etc(app, j);
+      ++count[j];
+      const double rho = normalizedRobustness();
+      const double completion = load[j];
+      load[j] -= etc(app, j);
+      --count[j];
+      if (rho > bestRho ||
+          (rho == bestRho && completion < bestCompletion)) {
+        bestRho = rho;
+        bestCompletion = completion;
+        bestMachine = j;
+      }
+    }
+    assignment[app] = bestMachine;
+    load[bestMachine] += etc(app, bestMachine);
+    ++count[bestMachine];
+  }
+  return Mapping(std::move(assignment), etc.machines());
+}
+
+Mapping localSearch(const EtcMatrix& etc, Mapping start,
+                    const MappingObjective& objective, int maxRounds) {
+  ROBUST_REQUIRE(static_cast<bool>(objective), "localSearch: null objective");
+  Mapping current = std::move(start);
+  double currentValue = objective(current);
+  for (int round = 0; round < maxRounds; ++round) {
+    double bestValue = currentValue;
+    std::size_t bestApp = 0;
+    std::size_t bestMachine = 0;
+    bool improved = false;
+    for (std::size_t i = 0; i < etc.apps(); ++i) {
+      const std::size_t original = current.machineOf(i);
+      for (std::size_t j = 0; j < etc.machines(); ++j) {
+        if (j == original) {
+          continue;
+        }
+        current.assign(i, j);
+        const double value = objective(current);
+        if (value < bestValue) {
+          bestValue = value;
+          bestApp = i;
+          bestMachine = j;
+          improved = true;
+        }
+      }
+      current.assign(i, original);
+    }
+    if (!improved) {
+      break;
+    }
+    current.assign(bestApp, bestMachine);
+    currentValue = bestValue;
+  }
+  return current;
+}
+
+Mapping annealMapping(std::size_t apps, std::size_t machines, Mapping start,
+                      const MappingObjective& objective,
+                      const AnnealingOptions& options) {
+  ROBUST_REQUIRE(static_cast<bool>(objective),
+                 "annealMapping: null objective");
+  ROBUST_REQUIRE(options.iterations > 0 && options.coolingRate > 0.0 &&
+                     options.coolingRate < 1.0,
+                 "annealMapping: invalid options");
+  ROBUST_REQUIRE(start.apps() == apps && start.machines() == machines,
+                 "annealMapping: start mapping shape mismatch");
+
+  Pcg32 rng(options.seed, /*stream=*/7);
+  Mapping current = std::move(start);
+  double currentValue = objective(current);
+  Mapping best = current;
+  double bestValue = currentValue;
+
+  double temperature =
+      options.initialTemperature * std::max(1.0, std::fabs(currentValue));
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const auto app = static_cast<std::size_t>(
+        rng.nextBounded(static_cast<std::uint32_t>(apps)));
+    const std::size_t original = current.machineOf(app);
+    auto machine = static_cast<std::size_t>(
+        rng.nextBounded(static_cast<std::uint32_t>(machines)));
+    if (machine == original) {
+      continue;
+    }
+    current.assign(app, machine);
+    const double value = objective(current);
+    const double delta = value - currentValue;
+    if (delta <= 0.0 ||
+        rng.nextDouble() < std::exp(-delta / std::max(temperature, 1e-12))) {
+      currentValue = value;
+      if (value < bestValue) {
+        bestValue = value;
+        best = current;
+      }
+    } else {
+      current.assign(app, original);  // reject
+    }
+    temperature *= options.coolingRate;
+  }
+  return best;
+}
+
+Mapping simulatedAnnealing(const EtcMatrix& etc, Mapping start,
+                           const MappingObjective& objective,
+                           const AnnealingOptions& options) {
+  return annealMapping(etc.apps(), etc.machines(), std::move(start),
+                       objective, options);
+}
+
+Mapping geneticAlgorithm(const EtcMatrix& etc, Mapping seedMapping,
+                         const MappingObjective& objective,
+                         const GeneticOptions& options) {
+  ROBUST_REQUIRE(static_cast<bool>(objective),
+                 "geneticAlgorithm: null objective");
+  ROBUST_REQUIRE(options.populationSize >= 2 && options.generations > 0 &&
+                     options.tournamentSize >= 1 && options.eliteCount >= 0 &&
+                     options.eliteCount < options.populationSize,
+                 "geneticAlgorithm: invalid options");
+
+  Pcg32 rng(options.seed, /*stream=*/11);
+  const std::size_t apps = etc.apps();
+  const auto machines = static_cast<std::uint32_t>(etc.machines());
+
+  struct Individual {
+    std::vector<std::size_t> genes;
+    double fitness;  // objective value; smaller is better
+  };
+
+  auto evaluate = [&](const std::vector<std::size_t>& genes) {
+    return objective(Mapping(genes, etc.machines()));
+  };
+
+  std::vector<Individual> population;
+  population.reserve(static_cast<std::size_t>(options.populationSize));
+  population.push_back(
+      {seedMapping.assignment(), evaluate(seedMapping.assignment())});
+  while (population.size() <
+         static_cast<std::size_t>(options.populationSize)) {
+    std::vector<std::size_t> genes(apps);
+    for (auto& g : genes) {
+      g = rng.nextBounded(machines);
+    }
+    const double fitness = evaluate(genes);
+    population.push_back({std::move(genes), fitness});
+  }
+
+  auto byFitness = [](const Individual& a, const Individual& b) {
+    return a.fitness < b.fitness;
+  };
+
+  auto tournament = [&]() -> const Individual& {
+    const Individual* winner = nullptr;
+    for (int t = 0; t < options.tournamentSize; ++t) {
+      const auto idx = static_cast<std::size_t>(rng.nextBounded(
+          static_cast<std::uint32_t>(population.size())));
+      if (winner == nullptr || population[idx].fitness < winner->fitness) {
+        winner = &population[idx];
+      }
+    }
+    return *winner;
+  };
+
+  for (int gen = 0; gen < options.generations; ++gen) {
+    std::sort(population.begin(), population.end(), byFitness);
+    std::vector<Individual> next;
+    next.reserve(population.size());
+    for (int e = 0; e < options.eliteCount; ++e) {
+      next.push_back(population[static_cast<std::size_t>(e)]);
+    }
+    while (next.size() < population.size()) {
+      const Individual& parentA = tournament();
+      const Individual& parentB = tournament();
+      std::vector<std::size_t> child(apps);
+      if (rng.nextDouble() < options.crossoverRate) {
+        for (std::size_t i = 0; i < apps; ++i) {
+          child[i] =
+              rng.nextDouble() < 0.5 ? parentA.genes[i] : parentB.genes[i];
+        }
+      } else {
+        child = parentA.genes;
+      }
+      for (std::size_t i = 0; i < apps; ++i) {
+        if (rng.nextDouble() < options.mutationRate) {
+          child[i] = rng.nextBounded(machines);
+        }
+      }
+      const double fitness = evaluate(child);
+      next.push_back({std::move(child), fitness});
+    }
+    population = std::move(next);
+  }
+  const auto best = std::min_element(population.begin(), population.end(),
+                                     byFitness);
+  return Mapping(best->genes, etc.machines());
+}
+
+const std::vector<HeuristicEntry>& constructiveHeuristics() {
+  static const std::vector<HeuristicEntry> entries = {
+      {"round-robin", &roundRobinMapping}, {"olb", &olbMapping},
+      {"met", &metMapping},                {"mct", &mctMapping},
+      {"min-min", &minMinMapping},         {"max-min", &maxMinMapping},
+      {"sufferage", &sufferageMapping},    {"duplex", &duplexMapping},
+  };
+  return entries;
+}
+
+}  // namespace robust::sched

@@ -1,0 +1,51 @@
+#include "robust/sim/executor.hpp"
+
+#include <algorithm>
+
+#include "robust/util/error.hpp"
+
+namespace robust::sim {
+
+ExecutionResult execute(const sched::Mapping& mapping,
+                        const ExecutionInput& input) {
+  const std::size_t apps = mapping.apps();
+  const std::size_t machines = mapping.machines();
+  ROBUST_REQUIRE(input.actualTimes.size() == apps,
+                 "execute: actualTimes size must equal the application count");
+  ROBUST_REQUIRE(
+      input.releaseTimes.empty() || input.releaseTimes.size() == apps,
+      "execute: releaseTimes size must equal the application count");
+  ROBUST_REQUIRE(
+      input.machineReady.empty() || input.machineReady.size() == machines,
+      "execute: machineReady size must equal the machine count");
+  for (double t : input.actualTimes) {
+    ROBUST_REQUIRE(t >= 0.0, "execute: negative actual execution time");
+  }
+
+  ExecutionResult result;
+  result.tasks.resize(apps);
+  result.finishTimes.assign(machines, 0.0);
+  std::vector<double> machineClock(machines, 0.0);
+  for (std::size_t j = 0; j < machines; ++j) {
+    machineClock[j] = input.machineReady.empty() ? 0.0 : input.machineReady[j];
+    result.finishTimes[j] = machineClock[j];
+  }
+
+  // Applications are dispatched in index order, which on each machine is
+  // exactly "the order in which the applications are assigned".
+  for (std::size_t i = 0; i < apps; ++i) {
+    const std::size_t j = mapping.machineOf(i);
+    const double release =
+        input.releaseTimes.empty() ? 0.0 : input.releaseTimes[i];
+    const double start = std::max(machineClock[j], release);
+    const double finish = start + input.actualTimes[i];
+    machineClock[j] = finish;
+    result.finishTimes[j] = finish;
+    result.tasks[i] = TaskTrace{i, j, start, finish};
+  }
+  result.makespan =
+      *std::max_element(result.finishTimes.begin(), result.finishTimes.end());
+  return result;
+}
+
+}  // namespace robust::sim

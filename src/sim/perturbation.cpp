@@ -1,0 +1,72 @@
+#include "robust/sim/perturbation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "robust/numeric/vector_ops.hpp"
+#include "robust/random/distributions.hpp"
+#include "robust/util/error.hpp"
+
+namespace robust::sim {
+
+std::string toString(ErrorModel model) {
+  switch (model) {
+    case ErrorModel::GaussianRelative:
+      return "gaussian-relative";
+    case ErrorModel::GammaMultiplicative:
+      return "gamma-multiplicative";
+    case ErrorModel::UniformRelative:
+      return "uniform-relative";
+  }
+  return "?";
+}
+
+std::vector<double> PerturbationModel::sample(
+    std::span<const double> estimates, Pcg32& rng) const {
+  ROBUST_REQUIRE(magnitude >= 0.0,
+                 "PerturbationModel: magnitude must be non-negative");
+  std::vector<double> actual(estimates.size());
+  for (std::size_t i = 0; i < estimates.size(); ++i) {
+    double factor = 1.0;
+    switch (model) {
+      case ErrorModel::GaussianRelative:
+        factor = 1.0 + magnitude * rnd::standardNormal(rng);
+        break;
+      case ErrorModel::GammaMultiplicative:
+        factor = magnitude > 0.0 ? rnd::gammaMeanCv(rng, 1.0, magnitude)
+                                 : 1.0;
+        break;
+      case ErrorModel::UniformRelative:
+        factor = rng.uniform(1.0 - magnitude, 1.0 + magnitude);
+        break;
+    }
+    actual[i] = std::max(0.0, estimates[i] * factor);
+  }
+  return actual;
+}
+
+std::vector<double> worstCasePerturbation(
+    const sched::IndependentTaskSystem& system, double radius) {
+  ROBUST_REQUIRE(radius >= 0.0,
+                 "worstCasePerturbation: radius must be non-negative");
+  const auto analysis = system.analyze();
+  const auto& mapping = system.mapping();
+  const auto counts = mapping.countPerMachine();
+  const std::size_t jStar = analysis.bindingMachine;
+  ROBUST_REQUIRE(counts[jStar] > 0,
+                 "worstCasePerturbation: binding machine is empty");
+
+  // Unit direction toward the binding machine's boundary: equal errors on
+  // its applications (observation 2), zero elsewhere (observation 1).
+  const double perApp =
+      radius / std::sqrt(static_cast<double>(counts[jStar]));
+  std::vector<double> actual = system.estimatedTimes();
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (mapping.machineOf(i) == jStar) {
+      actual[i] += perApp;
+    }
+  }
+  return actual;
+}
+
+}  // namespace robust::sim

@@ -1,0 +1,59 @@
+#include "robust/util/args.hpp"
+
+#include <cstdlib>
+
+#include "robust/util/error.hpp"
+
+namespace robust {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    ROBUST_REQUIRE(token.rfind("--", 0) == 0,
+                   "ArgParser: expected --option, got '" + token + "'");
+    std::string key = token.substr(2);
+    ROBUST_REQUIRE(!key.empty(), "ArgParser: empty option name");
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[key] = argv[++i];
+    } else {
+      values_[key] = "";  // bare flag
+    }
+  }
+}
+
+std::string ArgParser::getString(const std::string& key,
+                                 const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it != values_.end() ? it->second : fallback;
+}
+
+double ArgParser::getDouble(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  ROBUST_REQUIRE(end != it->second.c_str() && *end == '\0',
+                 "ArgParser: option --" + key + " is not a number");
+  return v;
+}
+
+std::int64_t ArgParser::getInt(const std::string& key,
+                               std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  ROBUST_REQUIRE(end != it->second.c_str() && *end == '\0',
+                 "ArgParser: option --" + key + " is not an integer");
+  return v;
+}
+
+bool ArgParser::has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+}  // namespace robust

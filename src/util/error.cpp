@@ -1,0 +1,14 @@
+#include "robust/util/error.hpp"
+
+#include <sstream>
+
+namespace robust::detail {
+
+void throwInvalidArgument(const char* file, int line,
+                          const std::string& message) {
+  std::ostringstream oss;
+  oss << message << " (" << file << ":" << line << ")";
+  throw InvalidArgumentError(oss.str());
+}
+
+}  // namespace robust::detail

@@ -1,0 +1,147 @@
+#include "robust/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "robust/util/error.hpp"
+
+namespace robust {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) {
+    return s;
+  }
+  double sum = 0.0;
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) {
+    const double d = x - s.mean;
+    ss += d * d;
+  }
+  s.stddev = xs.size() > 1
+                 ? std::sqrt(ss / static_cast<double>(xs.size() - 1))
+                 : 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = sorted.size() / 2;
+  s.median = sorted.size() % 2 == 1
+                 ? sorted[mid]
+                 : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  return s;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  ROBUST_REQUIRE(xs.size() == ys.size(),
+                 "pearson: samples must have equal length");
+  const std::size_t n = xs.size();
+  if (n < 2) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  double mx = 0.0;
+  double my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+LinearFit fitLine(std::span<const double> xs, std::span<const double> ys) {
+  ROBUST_REQUIRE(xs.size() == ys.size(),
+                 "fitLine: samples must have equal length");
+  ROBUST_REQUIRE(xs.size() >= 2, "fitLine: need at least two points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  LinearFit fit;
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) {
+    fit.slope = 0.0;
+    fit.intercept = sy / n;
+    fit.r2 = 0.0;
+    return fit;
+  }
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  double ssRes = 0.0;
+  double ssTot = 0.0;
+  const double my = sy / n;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = fit.slope * xs[i] + fit.intercept;
+    ssRes += (ys[i] - pred) * (ys[i] - pred);
+    ssTot += (ys[i] - my) * (ys[i] - my);
+  }
+  fit.r2 = ssTot > 0.0 ? 1.0 - ssRes / ssTot : 1.0;
+  return fit;
+}
+
+Histogram makeHistogram(std::span<const double> xs, std::size_t bins) {
+  ROBUST_REQUIRE(bins > 0, "makeHistogram: bins must be positive");
+  Histogram h;
+  h.counts.assign(bins, 0);
+  if (xs.empty()) {
+    return h;
+  }
+  h.lo = *std::min_element(xs.begin(), xs.end());
+  h.hi = *std::max_element(xs.begin(), xs.end());
+  const double width = h.hi - h.lo;
+  for (double x : xs) {
+    std::size_t bin =
+        width > 0.0
+            ? static_cast<std::size_t>((x - h.lo) / width *
+                                       static_cast<double>(bins))
+            : 0;
+    bin = std::min(bin, bins - 1);
+    ++h.counts[bin];
+  }
+  return h;
+}
+
+double quantile(std::span<const double> xs, double q) {
+  ROBUST_REQUIRE(!xs.empty(), "quantile: empty sample");
+  ROBUST_REQUIRE(q >= 0.0 && q <= 1.0, "quantile: q must lie in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto loIdx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(loIdx);
+  if (loIdx + 1 >= sorted.size()) {
+    return sorted.back();
+  }
+  return sorted[loIdx] * (1.0 - frac) + sorted[loIdx + 1] * frac;
+}
+
+}  // namespace robust

@@ -1,0 +1,82 @@
+#include "robust/util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "robust/util/error.hpp"
+
+namespace robust {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  ROBUST_REQUIRE(!headers_.empty(), "TablePrinter: need at least one column");
+}
+
+void TablePrinter::addRow(std::vector<std::string> cells) {
+  ROBUST_REQUIRE(cells.size() == headers_.size(),
+                 "TablePrinter: row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emitRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emitRow(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emitRow(row);
+  }
+}
+
+void CsvWriter::writeRow(const std::vector<std::string>& cells) {
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const std::string& cell = cells[c];
+    const bool needsQuote =
+        cell.find_first_of(",\"\n") != std::string::npos;
+    if (needsQuote) {
+      os_ << '"';
+      for (char ch : cell) {
+        if (ch == '"') {
+          os_ << '"';
+        }
+        os_ << ch;
+      }
+      os_ << '"';
+    } else {
+      os_ << cell;
+    }
+    if (c + 1 < cells.size()) {
+      os_ << ',';
+    }
+  }
+  os_ << '\n';
+}
+
+std::string formatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+  return buf;
+}
+
+}  // namespace robust

@@ -1,0 +1,99 @@
+#include "robust/util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace robust {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cvTask_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++inFlight_;
+  }
+  cvTask_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mutex_);
+  cvDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cvTask_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ set and nothing left to run
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      if (--inFlight_ == 0) {
+        cvDone_.notify_all();
+      }
+    }
+  }
+}
+
+void parallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& body,
+                 std::size_t threads) {
+  if (begin >= end) {
+    return;
+  }
+  const std::size_t n = end - begin;
+  std::size_t workers =
+      threads != 0 ? threads
+                   : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers = std::min(workers, n);
+  if (workers <= 1) {
+    for (std::size_t i = begin; i < end; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  ThreadPool pool(workers);
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + w * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) {
+      break;
+    }
+    pool.submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) {
+        body(i);
+      }
+    });
+  }
+  pool.wait();
+}
+
+}  // namespace robust

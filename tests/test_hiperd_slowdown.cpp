@@ -1,0 +1,152 @@
+// Tests for the machine-slowdown FePIA derivation and the
+// violation-probability curve.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "robust/core/validation.hpp"
+#include "robust/hiperd/generator.hpp"
+#include "robust/hiperd/slowdown.hpp"
+#include "robust/util/error.hpp"
+
+namespace robust::hiperd {
+namespace {
+
+NodeRef sensor(std::size_t i) { return NodeRef{NodeKind::Sensor, i}; }
+NodeRef app(std::size_t i) { return NodeRef{NodeKind::Application, i}; }
+NodeRef actuator(std::size_t i) { return NodeRef{NodeKind::Actuator, i}; }
+
+/// Two apps on two machines in one chain; hand-checkable numbers.
+///   s0 (bound 100) -> a0 -> a1 -> act0, latency limit 60.
+///   Tc(a0) = 20 on m0, Tc(a1) = 10 on m1 (factors 1: one app per machine).
+HiperdScenario chainScenario() {
+  HiperdScenario scenario;
+  SystemGraph& g = scenario.graph;
+  g.addSensor("s0", 1.0 / 100.0);
+  g.addApplication("a0");
+  g.addApplication("a1");
+  g.addActuator("act0");
+  g.addEdge(sensor(0), app(0));
+  g.addEdge(app(0), app(1));
+  g.addEdge(app(1), actuator(0));
+  g.finalize();
+
+  scenario.machines = 2;
+  scenario.lambdaOrig = {10.0};
+  scenario.compute = {
+      {LoadFunction::linear({2.0}), LoadFunction::linear({99.0})},
+      {LoadFunction::linear({99.0}), LoadFunction::linear({1.0})},
+  };
+  scenario.comm.assign(g.edgeCount(), LoadFunction::zero(1));
+  scenario.latencyLimits = {60.0};
+  return scenario;
+}
+
+TEST(Slowdown, HandComputedRadii) {
+  const HiperdScenario scenario = chainScenario();
+  const HiperdSystem system(scenario, sched::Mapping({0, 1}, 2));
+  const auto analyzer = slowdownAnalyzer(system);
+  const auto report = analyzer.analyze();
+
+  // Features: Tc(a0): 20 s0' <= 100 -> weights (20, 0), gap 80, radius 4.
+  //           Tc(a1): 10 s1' <= 100 -> weights (0, 10), gap 90, radius 9.
+  //           L_0: 20 s0' + 10 s1' <= 60 -> gap 30, ||w|| = sqrt(500),
+  //                radius 30/22.36 = 1.3416.
+  ASSERT_EQ(report.radii.size(), 3u);
+  EXPECT_NEAR(report.metric, 30.0 / std::sqrt(500.0), 1e-12);
+  const auto& binding = report.radii[report.bindingFeature];
+  EXPECT_EQ(binding.feature, "L_0");
+  // Boundary point: s* = (1,1) + w * gap/||w||^2 = (1 + 20*30/500, ...)
+  EXPECT_NEAR(binding.boundaryPoint[0], 1.0 + 600.0 / 500.0, 1e-12);
+  EXPECT_NEAR(binding.boundaryPoint[1], 1.0 + 300.0 / 500.0, 1e-12);
+  EXPECT_FALSE(report.floored);  // slowdowns are continuous
+}
+
+TEST(Slowdown, OriginIsUnitSpeeds) {
+  const HiperdScenario scenario = chainScenario();
+  const HiperdSystem system(scenario, sched::Mapping({0, 1}, 2));
+  const auto analyzer = slowdownAnalyzer(system);
+  EXPECT_EQ(analyzer.parameter().origin, (num::Vec{1.0, 1.0}));
+  EXPECT_FALSE(analyzer.parameter().discrete);
+}
+
+TEST(Slowdown, CommunicationContributesConstant) {
+  HiperdScenario scenario = chainScenario();
+  scenario.comm[1] = LoadFunction::linear({0.5});  // a0->a1: 5 at lambda=10
+  const HiperdSystem system(scenario, sched::Mapping({0, 1}, 2));
+  const auto analyzer = slowdownAnalyzer(system);
+  const auto report = analyzer.analyze();
+  // Latency gap shrinks by the constant 5: radius = 25 / sqrt(500).
+  EXPECT_NEAR(report.metric, 25.0 / std::sqrt(500.0), 1e-12);
+}
+
+TEST(Slowdown, WorksOnGeneratedScenarios) {
+  const auto generated = generateScenario(ScenarioOptions{}, 2003);
+  Pcg32 rng(1);
+  const auto mapping = sched::randomMapping(
+      generated.scenario.graph.applicationCount(),
+      generated.scenario.machines, rng);
+  const HiperdSystem system(generated.scenario, mapping);
+  const auto report = slowdownAnalyzer(system).analyze();
+  EXPECT_GE(report.metric, 0.0);
+  EXPECT_TRUE(std::isfinite(report.metric));
+
+  // Cross-check against the Monte-Carlo oracle.
+  core::AnalyzerOptions oracle;
+  oracle.solver = core::SolverKind::MonteCarlo;
+  oracle.solverOptions.samples = 4096;
+  const auto sampled = slowdownAnalyzer(system, oracle).analyze();
+  EXPECT_GE(sampled.metric, report.metric - 1e-9);
+  EXPECT_LE(sampled.metric, report.metric * 1.5 + 1e-9);
+}
+
+TEST(Slowdown, CombinedRobustnessWithSensorLoads) {
+  // The multi-parameter extension: the mapping's overall robustness is the
+  // weaker of the two normalized metrics.
+  const auto generated = generateScenario(ScenarioOptions{}, 7);
+  Pcg32 rng(2);
+  const auto mapping = sched::randomMapping(
+      generated.scenario.graph.applicationCount(),
+      generated.scenario.machines, rng);
+  const HiperdSystem system(generated.scenario, mapping);
+  const auto loadReport = system.analyze();
+  const auto speedReport = slowdownAnalyzer(system).analyze();
+  const std::vector<core::RobustnessReport> reports = {loadReport,
+                                                       speedReport};
+  const double combined = core::combinedRobustness(reports);
+  EXPECT_DOUBLE_EQ(combined,
+                   std::min(loadReport.metric, speedReport.metric));
+}
+
+// -------------------------------------------------- violation curve
+
+TEST(ViolationCurve, ZeroBelowMetricRisingBeyond) {
+  const HiperdScenario scenario = chainScenario();
+  const HiperdSystem system(scenario, sched::Mapping({0, 1}, 2));
+  const auto analyzer = slowdownAnalyzer(system);
+  const double rho = analyzer.analyze().metric;
+
+  const std::vector<double> radii = {0.5 * rho, 0.99 * rho, 1.5 * rho,
+                                     3.0 * rho};
+  core::ValidationOptions options;
+  options.samples = 3000;
+  const auto curve =
+      core::violationProbabilityCurve(analyzer, radii, options);
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_EQ(curve[0].probability, 0.0);
+  EXPECT_EQ(curve[1].probability, 0.0);
+  EXPECT_GT(curve[2].probability, 0.0);
+  EXPECT_GT(curve[3].probability, curve[2].probability);
+}
+
+TEST(ViolationCurve, Validation) {
+  const HiperdScenario scenario = chainScenario();
+  const HiperdSystem system(scenario, sched::Mapping({0, 1}, 2));
+  const auto analyzer = slowdownAnalyzer(system);
+  const std::vector<double> bad = {-1.0};
+  EXPECT_THROW((void)core::violationProbabilityCurve(analyzer, bad),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace robust::hiperd

@@ -1,0 +1,319 @@
+// Tests for the HiPer-D system analysis: load functions, multitasking
+// factors, computation/communication/latency evaluation, the slack metric,
+// and the Section 3.2 robustness derivation, all against hand computations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "robust/core/validation.hpp"
+#include "robust/hiperd/system.hpp"
+#include "robust/util/error.hpp"
+
+namespace robust::hiperd {
+namespace {
+
+NodeRef sensor(std::size_t i) { return NodeRef{NodeKind::Sensor, i}; }
+NodeRef app(std::size_t i) { return NodeRef{NodeKind::Application, i}; }
+NodeRef actuator(std::size_t i) { return NodeRef{NodeKind::Actuator, i}; }
+
+// --------------------------------------------------------- load function
+
+TEST(LoadFunction, LinearEvaluatesAndDescribes) {
+  const auto f = LoadFunction::linear({2.0, 0.0, 3.0});
+  EXPECT_DOUBLE_EQ(f.evaluate(num::Vec{1.0, 100.0, 2.0}), 8.0);
+  EXPECT_TRUE(f.isLinear());
+  EXPECT_FALSE(f.isZero());
+  EXPECT_EQ(f.describe(), "2*l1 + 3*l3");
+}
+
+TEST(LoadFunction, ZeroIsZero) {
+  const auto z = LoadFunction::zero(3);
+  EXPECT_TRUE(z.isZero());
+  EXPECT_DOUBLE_EQ(z.evaluate(num::Vec{5.0, 5.0, 5.0}), 0.0);
+  EXPECT_EQ(z.describe(), "0");
+}
+
+TEST(LoadFunction, GeneralWrapsCallable) {
+  const auto f = LoadFunction::general(
+      [](std::span<const double> l) { return l[0] * l[0]; });
+  EXPECT_FALSE(f.isLinear());
+  EXPECT_FALSE(f.isZero());
+  EXPECT_DOUBLE_EQ(f.evaluate(num::Vec{3.0}), 9.0);
+  EXPECT_EQ(f.describe(), "<general>");
+  EXPECT_THROW((void)f.coeffs(), InvalidArgumentError);
+}
+
+TEST(LoadFunction, ImpactAppliesFactor) {
+  const auto f = LoadFunction::linear({2.0, 1.0});
+  const auto impact = f.impact(2.6);
+  EXPECT_TRUE(impact.isAffine());
+  EXPECT_DOUBLE_EQ(impact.evaluate(num::Vec{1.0, 1.0}), 7.8);
+  const auto g = LoadFunction::general(
+      [](std::span<const double> l) { return l[0]; });
+  EXPECT_DOUBLE_EQ(g.impact(3.0).evaluate(num::Vec{2.0}), 6.0);
+  EXPECT_THROW((void)f.impact(0.0), InvalidArgumentError);
+}
+
+TEST(MultitaskFactor, MatchesTableTwoModel) {
+  EXPECT_DOUBLE_EQ(multitaskFactor(0), 1.0);
+  EXPECT_DOUBLE_EQ(multitaskFactor(1), 1.0);
+  EXPECT_DOUBLE_EQ(multitaskFactor(2), 2.6);
+  EXPECT_DOUBLE_EQ(multitaskFactor(3), 3.9);
+  EXPECT_NEAR(multitaskFactor(4), 5.2, 1e-12);
+  EXPECT_DOUBLE_EQ(multitaskFactor(5), 6.5);
+  EXPECT_NEAR(multitaskFactor(6), 7.8, 1e-12);
+}
+
+// ------------------------------------------------------------- scenario
+
+/// The mini system of test_hiperd_graph with fully hand-computed numbers.
+HiperdScenario miniScenario() {
+  HiperdScenario scenario;
+  SystemGraph& g = scenario.graph;
+  g.addSensor("s0", 1.0 / 1000.0);  // throughput bound 1000
+  g.addSensor("s1", 1.0 / 2000.0);  // throughput bound 2000
+  g.addApplication("a0");
+  g.addApplication("a1");
+  g.addApplication("a2");
+  g.addApplication("a3");
+  g.addActuator("act0");
+  g.addActuator("act1");
+  g.addEdge(sensor(0), app(0));                    // edge 0
+  g.addEdge(app(0), app(1), /*trigger=*/true);     // edge 1
+  g.addEdge(app(1), actuator(0));                  // edge 2
+  g.addEdge(sensor(1), app(2));                    // edge 3
+  g.addEdge(app(2), app(1), /*trigger=*/false);    // edge 4 (update)
+  g.addEdge(app(2), app(3));                       // edge 5
+  g.addEdge(app(3), actuator(1));                  // edge 6
+  g.finalize();
+
+  scenario.machines = 2;
+  scenario.lambdaOrig = {10.0, 20.0};
+
+  // compute[app][machine]; machine 1 coefficients for apps mapped to m0 (and
+  // vice versa) are deliberately "wrong" values that must never be read.
+  const num::Vec unused = {999.0, 999.0};
+  scenario.compute = {
+      {LoadFunction::linear({1.0, 0.0}), LoadFunction::linear(unused)},
+      {LoadFunction::linear({2.0, 1.0}), LoadFunction::linear(unused)},
+      {LoadFunction::linear(unused), LoadFunction::linear({0.0, 3.0})},
+      {LoadFunction::linear(unused), LoadFunction::linear({0.0, 1.0})},
+  };
+  scenario.comm.assign(g.edgeCount(), LoadFunction::zero(2));
+  scenario.comm[4] = LoadFunction::linear({0.0, 0.5});  // a2 -> a1 transfer
+
+  // Latency limits by path content (enumeration order is an implementation
+  // detail): {a0,a1} -> 500, {a2,a3} -> 600, update {a2} -> 400.
+  const auto& paths = g.paths();
+  scenario.latencyLimits.resize(paths.size());
+  for (std::size_t k = 0; k < paths.size(); ++k) {
+    if (paths[k].kind == PathKind::Update) {
+      scenario.latencyLimits[k] = 400.0;
+    } else if (paths[k].apps.front() == 0) {
+      scenario.latencyLimits[k] = 500.0;
+    } else {
+      scenario.latencyLimits[k] = 600.0;
+    }
+  }
+  return scenario;
+}
+
+sched::Mapping miniMapping() {
+  // a0, a1 on m0; a2, a3 on m1: every machine runs 2 apps, factor 2.6.
+  return sched::Mapping({0, 0, 1, 1}, 2);
+}
+
+std::size_t pathIndexOf(const SystemGraph& g, PathKind kind,
+                        std::size_t firstApp) {
+  const auto& paths = g.paths();
+  for (std::size_t k = 0; k < paths.size(); ++k) {
+    if (paths[k].kind == kind && paths[k].apps.front() == firstApp) {
+      return k;
+    }
+  }
+  throw std::logic_error("path not found");
+}
+
+TEST(HiperdSystem, FactorsAndComputationTimes) {
+  const HiperdScenario scenario = miniScenario();
+  const HiperdSystem system(scenario, miniMapping());
+  const num::Vec& l = scenario.lambdaOrig;
+  EXPECT_DOUBLE_EQ(system.factorOf(0), 2.6);
+  EXPECT_DOUBLE_EQ(system.computationTime(0, l), 26.0);   // 2.6 * 10
+  EXPECT_DOUBLE_EQ(system.computationTime(1, l), 104.0);  // 2.6 * 40
+  EXPECT_DOUBLE_EQ(system.computationTime(2, l), 156.0);  // 2.6 * 60
+  EXPECT_DOUBLE_EQ(system.computationTime(3, l), 52.0);   // 2.6 * 20
+  EXPECT_DOUBLE_EQ(system.communicationTime(4, l), 10.0); // 0.5 * 20
+  EXPECT_DOUBLE_EQ(system.communicationTime(0, l), 0.0);
+}
+
+TEST(HiperdSystem, UnevenMappingFactors) {
+  const HiperdScenario scenario = miniScenario();
+  // Three apps on m0, one on m1: factors 3.9 and 1.0. Note a2 on m0 uses
+  // the machine-0 coefficients (the "unused" 999s) — so only query a3.
+  const HiperdSystem system(scenario, sched::Mapping({0, 0, 0, 1}, 2));
+  EXPECT_DOUBLE_EQ(system.factorOf(0), 3.9);
+  EXPECT_DOUBLE_EQ(system.factorOf(3), 1.0);
+  EXPECT_DOUBLE_EQ(system.computationTime(3, scenario.lambdaOrig), 20.0);
+}
+
+TEST(HiperdSystem, ThroughputBounds) {
+  const HiperdScenario scenario = miniScenario();
+  const HiperdSystem system(scenario, miniMapping());
+  EXPECT_DOUBLE_EQ(system.throughputBound(0), 1000.0);
+  EXPECT_DOUBLE_EQ(system.throughputBound(1), 1000.0);
+  EXPECT_DOUBLE_EQ(system.throughputBound(2), 2000.0);
+  EXPECT_DOUBLE_EQ(system.throughputBound(3), 2000.0);
+}
+
+TEST(HiperdSystem, LatenciesMatchHandComputation) {
+  const HiperdScenario scenario = miniScenario();
+  const HiperdSystem system(scenario, miniMapping());
+  const num::Vec& l = scenario.lambdaOrig;
+  const auto& g = scenario.graph;
+  EXPECT_DOUBLE_EQ(
+      system.latency(pathIndexOf(g, PathKind::Trigger, 0), l), 130.0);
+  EXPECT_DOUBLE_EQ(
+      system.latency(pathIndexOf(g, PathKind::Trigger, 2), l), 208.0);
+  // Update path: Tc(a2) + Tn(a2->a1) = 156 + 10.
+  EXPECT_DOUBLE_EQ(
+      system.latency(pathIndexOf(g, PathKind::Update, 2), l), 166.0);
+}
+
+TEST(HiperdSystem, SlackMatchesHandComputation) {
+  const HiperdScenario scenario = miniScenario();
+  const HiperdSystem system(scenario, miniMapping());
+  // Max utilization is the update path: 166 / 400 = 0.415.
+  EXPECT_NEAR(system.slack(), 1.0 - 0.415, 1e-12);
+}
+
+TEST(HiperdSystem, ConstraintListContents) {
+  const HiperdScenario scenario = miniScenario();
+  const HiperdSystem system(scenario, miniMapping());
+  const auto constraints = system.constraints();
+  // 4 computation + 1 non-zero communication + 3 latency.
+  EXPECT_EQ(constraints.size(), 8u);
+  int comp = 0;
+  int comm = 0;
+  int lat = 0;
+  for (const auto& c : constraints) {
+    switch (c.kind) {
+      case ConstraintKind::Computation: ++comp; break;
+      case ConstraintKind::Communication: ++comm; break;
+      case ConstraintKind::Latency: ++lat; break;
+    }
+    EXPECT_GT(c.limit, 0.0);
+  }
+  EXPECT_EQ(comp, 4);
+  EXPECT_EQ(comm, 1);
+  EXPECT_EQ(lat, 3);
+}
+
+TEST(HiperdSystem, RobustnessMatchesHandComputation) {
+  const HiperdScenario scenario = miniScenario();
+  const HiperdSystem system(scenario, miniMapping());
+  const auto report = system.analyze();
+
+  // Binding constraint: the update path {a2}, weights (0, 8.3),
+  // gap 400 - 166 = 234, radius 234 / 8.3 = 28.1928...
+  const double expected = 234.0 / 8.3;
+  EXPECT_DOUBLE_EQ(report.metric, std::floor(expected));
+  EXPECT_TRUE(report.floored);
+  const auto& binding = report.radii[report.bindingFeature];
+  const std::size_t updateIdx =
+      pathIndexOf(scenario.graph, PathKind::Update, 2);
+  EXPECT_EQ(binding.feature, "L_" + std::to_string(updateIdx));
+  EXPECT_NEAR(binding.radius, expected, 1e-9);
+  // lambda* moves only the second sensor's load.
+  EXPECT_NEAR(binding.boundaryPoint[0], 10.0, 1e-9);
+  EXPECT_NEAR(binding.boundaryPoint[1], 20.0 + expected, 1e-9);
+
+  // Individual radii: spot-check a computation and the communication one.
+  for (const auto& r : report.radii) {
+    if (r.feature == "Tc(a0)") {
+      EXPECT_NEAR(r.radius, (1000.0 - 26.0) / 2.6, 1e-9);
+    } else if (r.feature == "Tn(a2->a1)") {
+      EXPECT_NEAR(r.radius, (2000.0 - 10.0) / 0.5, 1e-9);
+    }
+  }
+}
+
+TEST(HiperdSystem, GuaranteeValidatedBySampling) {
+  const HiperdScenario scenario = miniScenario();
+  const HiperdSystem system(scenario, miniMapping());
+  const auto analyzer = system.toAnalyzer();
+  const auto report = analyzer.analyze();
+  const auto validation = core::validateRadius(analyzer, report.metric);
+  EXPECT_EQ(validation.violationsInside, 0);
+}
+
+TEST(HiperdSystem, GeneralLoadFunctionUsesIterativeSolver) {
+  HiperdScenario scenario = miniScenario();
+  // Make a3's computation quadratic in l2: Tc = factor * 0.05 * l2^2.
+  scenario.compute[3][1] = LoadFunction::general(
+      [](std::span<const double> l) { return 0.05 * l[1] * l[1]; },
+      [](std::span<const double> l) {
+        return num::Vec{0.0, 0.1 * l[1]};
+      });
+  const HiperdSystem system(scenario, miniMapping());
+  const auto report = system.analyze();
+  // Tc(a3) = 2.6 * 0.05 * l2^2 = 2000 at l2 = sqrt(2000/0.13) = 124.03...;
+  // radius = 124.03 - 20 = 104.03. The binding feature is still the update
+  // path (28), but the a3 radius must be solved iteratively and correctly.
+  for (const auto& r : report.radii) {
+    if (r.feature == "Tc(a3)") {
+      EXPECT_NEAR(r.radius, std::sqrt(2000.0 / 0.13) - 20.0, 1e-5);
+      EXPECT_NE(r.method.find("kkt"), std::string::npos);
+    }
+  }
+}
+
+TEST(HiperdSystem, MappingMismatchRejected) {
+  const HiperdScenario scenario = miniScenario();
+  EXPECT_THROW(HiperdSystem(scenario, sched::Mapping({0, 0, 1}, 2)),
+               InvalidArgumentError);
+  EXPECT_THROW(HiperdSystem(scenario, sched::Mapping({0, 0, 1, 2}, 3)),
+               InvalidArgumentError);
+}
+
+TEST(ValidateScenario, CatchesInconsistencies) {
+  HiperdScenario s = miniScenario();
+  s.lambdaOrig = {1.0};
+  EXPECT_THROW(validateScenario(s), InvalidArgumentError);
+
+  s = miniScenario();
+  s.latencyLimits.pop_back();
+  EXPECT_THROW(validateScenario(s), InvalidArgumentError);
+
+  s = miniScenario();
+  s.latencyLimits[0] = 0.0;
+  EXPECT_THROW(validateScenario(s), InvalidArgumentError);
+
+  s = miniScenario();
+  s.compute.pop_back();
+  EXPECT_THROW(validateScenario(s), InvalidArgumentError);
+
+  s = miniScenario();
+  s.comm.pop_back();
+  EXPECT_THROW(validateScenario(s), InvalidArgumentError);
+
+  s = miniScenario();
+  s.machines = 0;
+  EXPECT_THROW(validateScenario(s), InvalidArgumentError);
+}
+
+TEST(HiperdSystem, ZeroLoadDependenceYieldsNoFeature) {
+  HiperdScenario scenario = miniScenario();
+  // Make a0's computation load-independent (zero): its Tc feature vanishes
+  // and the remaining analysis still works.
+  scenario.compute[0][0] = LoadFunction::zero(2);
+  const HiperdSystem system(scenario, miniMapping());
+  const auto analyzer = system.toAnalyzer();
+  for (const auto& f : analyzer.features()) {
+    EXPECT_NE(f.name, "Tc(a0)");
+  }
+  EXPECT_TRUE(std::isfinite(system.analyze().metric));
+}
+
+}  // namespace
+}  // namespace robust::hiperd

@@ -1,0 +1,260 @@
+// Unit tests for the dense linear-algebra substrate: vector kernels, norms,
+// LU / Cholesky factorizations, and hyperplane geometry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "robust/numeric/hyperplane.hpp"
+#include "robust/numeric/matrix.hpp"
+#include "robust/numeric/vector_ops.hpp"
+#include "robust/util/error.hpp"
+#include "robust/util/rng.hpp"
+
+namespace robust::num {
+namespace {
+
+// ---------------------------------------------------------------- vectors
+
+TEST(VectorOps, DotAndNorms) {
+  const Vec a = {3.0, 4.0};
+  const Vec b = {1.0, -2.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), -5.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(norm1(a), 7.0);
+  EXPECT_DOUBLE_EQ(normInf(b), 2.0);
+}
+
+TEST(VectorOps, Norm2AvoidsOverflow) {
+  const Vec huge = {1e200, 1e200};
+  EXPECT_NEAR(norm2(huge) / 1e200, std::sqrt(2.0), 1e-12);
+  const Vec tiny = {1e-200, 1e-200};
+  EXPECT_NEAR(norm2(tiny) / 1e-200, std::sqrt(2.0), 1e-12);
+}
+
+TEST(VectorOps, WeightedNorm) {
+  const Vec a = {1.0, 2.0};
+  const Vec w = {4.0, 1.0};
+  EXPECT_DOUBLE_EQ(weightedNorm2(a, w), std::sqrt(8.0));
+  const Vec bad = {-1.0, 1.0};
+  EXPECT_THROW((void)weightedNorm2(a, bad), InvalidArgumentError);
+}
+
+TEST(VectorOps, AddSubScaleAxpy) {
+  const Vec a = {1.0, 2.0};
+  const Vec b = {3.0, 5.0};
+  EXPECT_EQ(add(a, b), (Vec{4.0, 7.0}));
+  EXPECT_EQ(sub(b, a), (Vec{2.0, 3.0}));
+  EXPECT_EQ(scale(a, 3.0), (Vec{3.0, 6.0}));
+  Vec y = {1.0, 1.0};
+  axpy(2.0, a, y);
+  EXPECT_EQ(y, (Vec{3.0, 5.0}));
+}
+
+TEST(VectorOps, DistanceAndNormalized) {
+  const Vec a = {0.0, 0.0};
+  const Vec b = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(distance2(a, b), 5.0);
+  const Vec n = normalized(b);
+  EXPECT_NEAR(norm2(n), 1.0, 1e-15);
+  EXPECT_THROW((void)normalized(Vec{0.0, 0.0}), InvalidArgumentError);
+}
+
+TEST(VectorOps, DimensionMismatchThrows) {
+  const Vec a = {1.0};
+  const Vec b = {1.0, 2.0};
+  EXPECT_THROW((void)dot(a, b), InvalidArgumentError);
+  EXPECT_THROW((void)add(a, b), InvalidArgumentError);
+  EXPECT_THROW((void)distance2(a, b), InvalidArgumentError);
+}
+
+TEST(VectorOps, ApproxEqual) {
+  EXPECT_TRUE(approxEqual(Vec{1.0, 2.0}, Vec{1.0 + 1e-10, 2.0}, 1e-9));
+  EXPECT_FALSE(approxEqual(Vec{1.0, 2.0}, Vec{1.1, 2.0}, 1e-9));
+  EXPECT_FALSE(approxEqual(Vec{1.0}, Vec{1.0, 2.0}, 1.0));
+}
+
+// ---------------------------------------------------------------- matrix
+
+TEST(Matrix, IdentityAndMultiply) {
+  const Matrix eye = Matrix::identity(3);
+  const Vec x = {1.0, 2.0, 3.0};
+  EXPECT_EQ(eye.multiply(x), x);
+}
+
+TEST(Matrix, TransposedSwapsIndices) {
+  Matrix m(2, 3);
+  m(0, 1) = 5.0;
+  m(1, 2) = 7.0;
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t(2, 1), 7.0);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  const LuDecomposition lu(a);
+  const Vec x = lu.solve(Vec{5.0, 10.0});  // solution (1, 3)
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+  EXPECT_NEAR(lu.determinant(), 5.0, 1e-12);
+}
+
+TEST(Lu, RequiresPivoting) {
+  // Zero on the initial pivot position forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const LuDecomposition lu(a);
+  const Vec x = lu.solve(Vec{2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(lu.determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, SingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_THROW(LuDecomposition{a}, ConvergenceError);
+}
+
+TEST(Lu, RandomRoundTrip) {
+  Pcg32 rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.nextBounded(8);
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        a(r, c) = rng.uniform(-1.0, 1.0);
+      }
+      a(r, r) += 2.0;  // diagonal dominance keeps it well-conditioned
+    }
+    Vec xTrue(n);
+    for (auto& v : xTrue) {
+      v = rng.uniform(-5.0, 5.0);
+    }
+    const Vec b = a.multiply(xTrue);
+    const Vec x = LuDecomposition(a).solve(b);
+    EXPECT_TRUE(approxEqual(x, xTrue, 1e-9)) << "trial " << trial;
+  }
+}
+
+TEST(Cholesky, SolvesSpdSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 4.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 3.0;
+  const CholeskyDecomposition chol(a);
+  const Vec x = chol.solve(Vec{8.0, 7.0});
+  // Verify A x = b.
+  const Vec back = a.multiply(x);
+  EXPECT_NEAR(back[0], 8.0, 1e-12);
+  EXPECT_NEAR(back[1], 7.0, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 1.0;  // eigenvalues 3, -1
+  EXPECT_THROW(CholeskyDecomposition{a}, ConvergenceError);
+}
+
+TEST(Cholesky, RandomSpdRoundTrip) {
+  Pcg32 rng(78);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 1 + rng.nextBounded(6);
+    // A = B B^T + I is SPD.
+    Matrix b(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        b(r, c) = rng.uniform(-1.0, 1.0);
+      }
+    }
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        double s = r == c ? 1.0 : 0.0;
+        for (std::size_t k = 0; k < n; ++k) {
+          s += b(r, k) * b(c, k);
+        }
+        a(r, c) = s;
+      }
+    }
+    Vec xTrue(n);
+    for (auto& v : xTrue) {
+      v = rng.uniform(-2.0, 2.0);
+    }
+    const Vec rhs = a.multiply(xTrue);
+    const Vec x = CholeskyDecomposition(a).solve(rhs);
+    EXPECT_TRUE(approxEqual(x, xTrue, 1e-8)) << "trial " << trial;
+  }
+}
+
+// ------------------------------------------------------------- hyperplane
+
+TEST(Hyperplane, DistanceMatchesFormula) {
+  // Plane x + y = 2; distance from origin is 2 / sqrt(2) = sqrt(2).
+  const Hyperplane h{{1.0, 1.0}, 2.0};
+  const Vec origin = {0.0, 0.0};
+  EXPECT_NEAR(h.distance(origin), std::sqrt(2.0), 1e-12);
+  EXPECT_LT(h.signedDistance(origin), 0.0);
+}
+
+TEST(Hyperplane, ProjectionLandsOnPlaneAtMinimalDistance) {
+  Pcg32 rng(80);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + rng.nextBounded(5);
+    Vec normal(n);
+    for (auto& v : normal) {
+      v = rng.uniform(-2.0, 2.0);
+    }
+    if (norm2(normal) < 1e-6) {
+      continue;
+    }
+    const double offset = rng.uniform(-5.0, 5.0);
+    const Hyperplane h{normal, offset};
+    Vec point(n);
+    for (auto& v : point) {
+      v = rng.uniform(-5.0, 5.0);
+    }
+    const Vec proj = h.project(point);
+    EXPECT_NEAR(dot(normal, proj), offset, 1e-9);
+    EXPECT_NEAR(distance2(proj, point), h.distance(point), 1e-9);
+    // Brute force: no random point on the plane is closer.
+    for (int probe = 0; probe < 20; ++probe) {
+      Vec other(n);
+      for (auto& v : other) {
+        v = rng.uniform(-10.0, 10.0);
+      }
+      // Project the probe onto the plane to make it feasible.
+      const Vec onPlane = h.project(other);
+      EXPECT_GE(distance2(onPlane, point) + 1e-9, h.distance(point));
+    }
+  }
+}
+
+TEST(Hyperplane, BoundaryOfAffine) {
+  // f(x) = 2x1 + 3x2 + 1, level 10 -> plane 2x1 + 3x2 = 9.
+  const Hyperplane h = boundaryOfAffine(Vec{2.0, 3.0}, 1.0, 10.0);
+  EXPECT_DOUBLE_EQ(h.offset, 9.0);
+  const Vec onPlane = {0.0, 3.0};
+  EXPECT_NEAR(h.evaluate(onPlane), 0.0, 1e-12);
+  EXPECT_THROW((void)boundaryOfAffine(Vec{0.0, 0.0}, 1.0, 10.0),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace robust::num

@@ -1,0 +1,227 @@
+// Tests for the execution simulator substrate: the deterministic executor,
+// the perturbation models, the adversarial worst case, and the Monte-Carlo
+// robustness study — including the metric's guarantee checked operationally.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "robust/scheduling/heuristics.hpp"
+#include "robust/sim/study.hpp"
+#include "robust/util/error.hpp"
+
+namespace robust::sim {
+namespace {
+
+sched::EtcMatrix quickEtc() {
+  sched::EtcMatrix etc(4, 2);
+  etc(0, 0) = 4.0;  etc(0, 1) = 8.0;
+  etc(1, 0) = 3.0;  etc(1, 1) = 5.0;
+  etc(2, 0) = 6.0;  etc(2, 1) = 2.0;
+  etc(3, 0) = 5.0;  etc(3, 1) = 4.0;
+  return etc;
+}
+
+// --------------------------------------------------------------- executor
+
+TEST(Executor, MatchesEquationFourWithDefaults) {
+  const sched::Mapping mapping({0, 0, 1, 1}, 2);
+  ExecutionInput input;
+  input.actualTimes = {4.0, 3.0, 2.0, 4.0};
+  const ExecutionResult result = execute(mapping, input);
+  EXPECT_DOUBLE_EQ(result.finishTimes[0], 7.0);
+  EXPECT_DOUBLE_EQ(result.finishTimes[1], 6.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 7.0);
+  // Sequential execution in assignment order on each machine.
+  EXPECT_DOUBLE_EQ(result.tasks[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(result.tasks[0].finish, 4.0);
+  EXPECT_DOUBLE_EQ(result.tasks[1].start, 4.0);
+  EXPECT_DOUBLE_EQ(result.tasks[1].finish, 7.0);
+  EXPECT_EQ(result.tasks[2].machine, 1u);
+}
+
+TEST(Executor, HonorsReleaseTimes) {
+  const sched::Mapping mapping({0, 0}, 1);
+  ExecutionInput input;
+  input.actualTimes = {2.0, 2.0};
+  input.releaseTimes = {0.0, 5.0};  // second app arrives late
+  const ExecutionResult result = execute(mapping, input);
+  EXPECT_DOUBLE_EQ(result.tasks[1].start, 5.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 7.0);
+}
+
+TEST(Executor, HonorsMachineReadyTimes) {
+  const sched::Mapping mapping({0, 1}, 2);
+  ExecutionInput input;
+  input.actualTimes = {2.0, 2.0};
+  input.machineReady = {10.0, 0.0};
+  const ExecutionResult result = execute(mapping, input);
+  EXPECT_DOUBLE_EQ(result.tasks[0].start, 10.0);
+  EXPECT_DOUBLE_EQ(result.finishTimes[0], 12.0);
+  EXPECT_DOUBLE_EQ(result.finishTimes[1], 2.0);
+}
+
+TEST(Executor, EmptyMachineKeepsReadyTime) {
+  const sched::Mapping mapping({0, 0}, 2);
+  ExecutionInput input;
+  input.actualTimes = {1.0, 1.0};
+  input.machineReady = {0.0, 3.0};
+  const ExecutionResult result = execute(mapping, input);
+  EXPECT_DOUBLE_EQ(result.finishTimes[1], 3.0);
+}
+
+TEST(Executor, Validation) {
+  const sched::Mapping mapping({0, 0}, 1);
+  ExecutionInput bad;
+  bad.actualTimes = {1.0};  // wrong size
+  EXPECT_THROW((void)execute(mapping, bad), InvalidArgumentError);
+  bad.actualTimes = {1.0, -1.0};
+  EXPECT_THROW((void)execute(mapping, bad), InvalidArgumentError);
+  bad.actualTimes = {1.0, 1.0};
+  bad.releaseTimes = {0.0};
+  EXPECT_THROW((void)execute(mapping, bad), InvalidArgumentError);
+}
+
+// ----------------------------------------------------------- perturbation
+
+TEST(Perturbation, ModelsPreserveScaleStatistically) {
+  const std::vector<double> estimates(200, 10.0);
+  for (const auto model :
+       {ErrorModel::GaussianRelative, ErrorModel::GammaMultiplicative,
+        ErrorModel::UniformRelative}) {
+    Pcg32 rng(3);
+    const PerturbationModel p{model, 0.1};
+    double sum = 0.0;
+    for (int t = 0; t < 50; ++t) {
+      const auto actual = p.sample(estimates, rng);
+      for (double a : actual) {
+        EXPECT_GE(a, 0.0);
+        sum += a;
+      }
+    }
+    const double mean = sum / (50.0 * 200.0);
+    EXPECT_NEAR(mean, 10.0, 0.2) << toString(model);
+  }
+}
+
+TEST(Perturbation, ZeroMagnitudeIsIdentity) {
+  const std::vector<double> estimates = {1.0, 2.0, 3.0};
+  Pcg32 rng(4);
+  for (const auto model :
+       {ErrorModel::GaussianRelative, ErrorModel::GammaMultiplicative,
+        ErrorModel::UniformRelative}) {
+    const PerturbationModel p{model, 0.0};
+    EXPECT_EQ(p.sample(estimates, rng), estimates) << toString(model);
+  }
+}
+
+TEST(Perturbation, ModelNames) {
+  EXPECT_EQ(toString(ErrorModel::GaussianRelative), "gaussian-relative");
+  EXPECT_EQ(toString(ErrorModel::GammaMultiplicative),
+            "gamma-multiplicative");
+  EXPECT_EQ(toString(ErrorModel::UniformRelative), "uniform-relative");
+}
+
+TEST(WorstCase, ExactlyReachesBoundAtRho) {
+  const sched::EtcMatrix etc = quickEtc();
+  const sched::IndependentTaskSystem system(
+      etc, sched::Mapping({0, 0, 1, 1}, 2), 1.2);
+  const auto analysis = system.analyze();
+
+  // At radius rho the realized makespan hits tau * M_orig exactly.
+  ExecutionInput input;
+  input.actualTimes = worstCasePerturbation(system, analysis.robustness);
+  const ExecutionResult atRho = execute(system.mapping(), input);
+  EXPECT_NEAR(atRho.makespan, 1.2 * analysis.predictedMakespan, 1e-12);
+
+  // Just inside: no violation. Just beyond: violation.
+  input.actualTimes =
+      worstCasePerturbation(system, 0.999 * analysis.robustness);
+  EXPECT_LT(execute(system.mapping(), input).makespan,
+            1.2 * analysis.predictedMakespan);
+  input.actualTimes =
+      worstCasePerturbation(system, 1.001 * analysis.robustness);
+  EXPECT_GT(execute(system.mapping(), input).makespan,
+            1.2 * analysis.predictedMakespan);
+}
+
+TEST(WorstCase, PerturbationNormEqualsRadius) {
+  const sched::EtcMatrix etc = quickEtc();
+  const sched::IndependentTaskSystem system(
+      etc, sched::Mapping({0, 1, 0, 1}, 2), 1.3);
+  const auto estimates = system.estimatedTimes();
+  const auto actual = worstCasePerturbation(system, 2.5);
+  EXPECT_NEAR(num::distance2(actual, estimates), 2.5, 1e-12);
+}
+
+// ----------------------------------------------------------------- study
+
+TEST(Study, GuaranteeNeverViolatedWithinRho) {
+  Pcg32 rng(11);
+  sched::EtcOptions etcOptions;
+  const auto etc = sched::generateEtc(etcOptions, rng);
+  const auto mapping =
+      sched::randomMapping(etc.apps(), etc.machines(), rng);
+  const sched::IndependentTaskSystem system(etc, mapping, 1.2);
+
+  StudyOptions options;
+  options.trials = 500;
+  options.magnitudes = {0.01, 0.05, 0.15, 0.3};
+  for (const auto model :
+       {ErrorModel::GaussianRelative, ErrorModel::GammaMultiplicative,
+        ErrorModel::UniformRelative}) {
+    options.model = model;
+    const auto points = runMakespanStudy(system, options);
+    ASSERT_EQ(points.size(), 4u);
+    for (const auto& point : points) {
+      // The operational form of the paper's guarantee.
+      EXPECT_EQ(point.coveredViolations, 0) << toString(model);
+      EXPECT_GE(point.p95MakespanRatio, point.meanMakespanRatio * 0.99);
+    }
+  }
+}
+
+TEST(Study, ViolationRateGrowsWithMagnitude) {
+  Pcg32 rng(12);
+  sched::EtcOptions etcOptions;
+  const auto etc = sched::generateEtc(etcOptions, rng);
+  const sched::IndependentTaskSystem system(
+      etc, sched::randomMapping(etc.apps(), etc.machines(), rng), 1.1);
+  StudyOptions options;
+  options.trials = 800;
+  options.magnitudes = {0.01, 0.1, 0.5};
+  const auto points = runMakespanStudy(system, options);
+  EXPECT_LE(points[0].violationRate, points[2].violationRate);
+  EXPECT_LT(points[0].meanMakespanRatio, points[2].meanMakespanRatio);
+}
+
+TEST(Study, DeterministicInSeed) {
+  Pcg32 rng(13);
+  sched::EtcOptions etcOptions;
+  const auto etc = sched::generateEtc(etcOptions, rng);
+  const sched::IndependentTaskSystem system(
+      etc, sched::roundRobinMapping(etc), 1.2);
+  StudyOptions options;
+  options.trials = 100;
+  options.magnitudes = {0.1};
+  const auto a = runMakespanStudy(system, options);
+  const auto b = runMakespanStudy(system, options);
+  EXPECT_DOUBLE_EQ(a[0].violationRate, b[0].violationRate);
+  EXPECT_DOUBLE_EQ(a[0].meanMakespanRatio, b[0].meanMakespanRatio);
+}
+
+TEST(Study, Validation) {
+  Pcg32 rng(14);
+  sched::EtcOptions etcOptions;
+  const auto etc = sched::generateEtc(etcOptions, rng);
+  const sched::IndependentTaskSystem system(
+      etc, sched::roundRobinMapping(etc), 1.2);
+  StudyOptions bad;
+  bad.trials = 0;
+  EXPECT_THROW((void)runMakespanStudy(system, bad), InvalidArgumentError);
+  bad = {};
+  bad.magnitudes.clear();
+  EXPECT_THROW((void)runMakespanStudy(system, bad), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace robust::sim

@@ -1,0 +1,365 @@
+// Unit tests for robust_util: RNG determinism and stream independence,
+// statistics, table/CSV output, argument parsing, and the thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "robust/util/args.hpp"
+#include "robust/util/error.hpp"
+#include "robust/util/rng.hpp"
+#include "robust/util/stats.hpp"
+#include "robust/util/table.hpp"
+#include "robust/util/timer.hpp"
+#include "robust/util/thread_pool.hpp"
+
+namespace robust {
+namespace {
+
+// ---------------------------------------------------------------- RNG
+
+TEST(Rng, SplitMix64IsDeterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, SplitMix64KnownVector) {
+  // Reference values from the canonical splitmix64 implementation (seed 0).
+  SplitMix64 g(0);
+  EXPECT_EQ(g.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(g.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(g.next(), 0x06c45d188009454fULL);
+}
+
+TEST(Rng, Pcg32IsDeterministic) {
+  Pcg32 a(42, 54);
+  Pcg32 b(42, 54);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, Pcg32ReferenceSequence) {
+  // First outputs of PCG32 with the reference demo seeding
+  // (seed 42, stream 54), from the pcg-random.org sample output.
+  Pcg32 g(42, 54);
+  EXPECT_EQ(g.next(), 0xa15c02b7u);
+  EXPECT_EQ(g.next(), 0x7b47f409u);
+  EXPECT_EQ(g.next(), 0xba1d3330u);
+}
+
+TEST(Rng, StreamsDiffer) {
+  Pcg32 a(7, 1);
+  Pcg32 b(7, 2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    equal += a.next() == b.next();
+  }
+  EXPECT_LT(equal, 5);  // occasional collisions only
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Pcg32 g(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = g.nextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleOpenNeverZero) {
+  Pcg32 g(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(g.nextDoubleOpen(), 0.0);
+  }
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Pcg32 g(9);
+  for (std::uint32_t bound : {1u, 2u, 3u, 7u, 100u}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(g.nextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BoundedCoversAllValues) {
+  Pcg32 g(10);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(g.nextBounded(5));
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, MakeStreamIndependence) {
+  Pcg32 a = makeStream(1234, 0);
+  Pcg32 b = makeStream(1234, 1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    equal += a.next() == b.next();
+  }
+  EXPECT_LT(equal, 5);
+  // Same (seed, id) reproduces the same stream.
+  Pcg32 c = makeStream(1234, 0);
+  Pcg32 d = makeStream(1234, 0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(c.next(), d.next());
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Pcg32 g(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = g.uniform(5.0, 9.0);
+    EXPECT_GE(x, 5.0);
+    EXPECT_LT(x, 9.0);
+  }
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(Stats, SummaryBasics) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+  EXPECT_NEAR(s.heterogeneity(), std::sqrt(2.5) / 3.0, 1e-12);
+}
+
+TEST(Stats, SummaryEvenCountMedian) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(summarize(xs).median, 2.5);
+}
+
+TEST(Stats, SummaryEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> zs = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, zs), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerate) {
+  const std::vector<double> xs = {1, 1, 1};
+  const std::vector<double> ys = {2, 3, 4};
+  EXPECT_TRUE(std::isnan(pearson(xs, ys)));
+}
+
+TEST(Stats, PearsonSizeMismatchThrows) {
+  const std::vector<double> xs = {1, 2};
+  const std::vector<double> ys = {1};
+  EXPECT_THROW((void)pearson(xs, ys), InvalidArgumentError);
+}
+
+TEST(Stats, FitLineExact) {
+  const std::vector<double> xs = {0, 1, 2, 3};
+  const std::vector<double> ys = {1, 3, 5, 7};  // y = 2x + 1
+  const LinearFit fit = fitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, FitLineNoisy) {
+  Pcg32 rng(5);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    xs.push_back(x);
+    ys.push_back(3.0 * x - 2.0 + 0.01 * (rng.nextDouble() - 0.5));
+  }
+  const LinearFit fit = fitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 0.01);
+  EXPECT_NEAR(fit.intercept, -2.0, 0.05);
+  EXPECT_GT(fit.r2, 0.999);
+}
+
+TEST(Stats, HistogramCountsEverything) {
+  const std::vector<double> xs = {0.0, 0.1, 0.5, 0.9, 1.0};
+  const Histogram h = makeHistogram(xs, 4);
+  std::size_t total = 0;
+  for (auto c : h.counts) {
+    total += c;
+  }
+  EXPECT_EQ(total, xs.size());
+  EXPECT_DOUBLE_EQ(h.lo, 0.0);
+  EXPECT_DOUBLE_EQ(h.hi, 1.0);
+}
+
+TEST(Stats, HistogramDegenerateRange) {
+  const std::vector<double> xs = {2.0, 2.0, 2.0};
+  const Histogram h = makeHistogram(xs, 3);
+  EXPECT_EQ(h.counts[0], 3u);
+}
+
+TEST(Stats, QuantileEndpointsAndMedian) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(Stats, QuantileValidation) {
+  EXPECT_THROW((void)quantile({}, 0.5), InvalidArgumentError);
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW((void)quantile(xs, 1.5), InvalidArgumentError);
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(Table, PrintsAlignedColumns) {
+  TablePrinter t({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addRow({"b", "22"});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), InvalidArgumentError);
+}
+
+TEST(Csv, QuotesSpecialCells) {
+  std::ostringstream oss;
+  CsvWriter csv(oss);
+  csv.writeRow({"plain", "with,comma", "with\"quote"});
+  EXPECT_EQ(oss.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(FormatDouble, Reasonable) {
+  EXPECT_EQ(formatDouble(1.0), "1");
+  EXPECT_EQ(formatDouble(0.5), "0.5");
+  EXPECT_EQ(formatDouble(123456.0, 3), "1.23e+05");
+}
+
+// ---------------------------------------------------------------- args
+
+TEST(Args, ParsesValuesAndFlags) {
+  const char* argv[] = {"prog", "--seed", "7", "--csv", "--name", "x"};
+  const ArgParser args(6, argv);
+  EXPECT_EQ(args.getInt("seed", 0), 7);
+  EXPECT_TRUE(args.has("csv"));
+  EXPECT_EQ(args.getString("name", ""), "x");
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_EQ(args.getInt("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(args.getDouble("missing", 1.5), 1.5);
+}
+
+TEST(Args, RejectsMalformed) {
+  const char* argv1[] = {"prog", "positional"};
+  EXPECT_THROW(ArgParser(2, argv1), InvalidArgumentError);
+  const char* argv2[] = {"prog", "--num", "abc"};
+  const ArgParser args(3, argv2);
+  EXPECT_THROW((void)args.getDouble("num", 0.0), InvalidArgumentError);
+  EXPECT_THROW((void)args.getInt("num", 0), InvalidArgumentError);
+}
+
+TEST(Args, LaterDuplicateWins) {
+  const char* argv[] = {"prog", "--k", "1", "--k", "2"};
+  const ArgParser args(5, argv);
+  EXPECT_EQ(args.getInt("k", 0), 2);
+}
+
+// ---------------------------------------------------------------- pool
+
+TEST(ThreadPool, RunsEveryTask) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait();
+    EXPECT_EQ(counter.load(), 100);
+  }
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor joins
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallelFor(0, 1000, [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyAndSingle) {
+  int calls = 0;
+  parallelFor(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallelFor(3, 4, [&](std::size_t i) { EXPECT_EQ(i, 3u); ++calls; }, 1);
+  EXPECT_EQ(calls, 1);
+}
+
+// ---------------------------------------------------------------- timer
+
+TEST(Stopwatch, MonotoneAndResettable) {
+  Stopwatch watch;
+  const double t0 = watch.seconds();
+  EXPECT_GE(t0, 0.0);
+  // Burn a little CPU so time visibly advances.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + static_cast<double>(i);
+  }
+  const double t1 = watch.seconds();
+  EXPECT_GE(t1, t0);
+  EXPECT_NEAR(watch.micros(), watch.seconds() * 1e6,
+              watch.seconds() * 1e6 * 0.5 + 10.0);
+  watch.reset();
+  EXPECT_LE(watch.seconds(), t1);
+}
+
+// ---------------------------------------------------------------- errors
+
+TEST(Errors, RequireMacroThrowsWithLocation) {
+  try {
+    ROBUST_REQUIRE(false, "something bad");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("something bad"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_util.cpp"), std::string::npos);
+  }
+}
+
+TEST(Errors, ConvergenceErrorCarriesResidual) {
+  const ConvergenceError e("stalled", 0.25);
+  EXPECT_DOUBLE_EQ(e.residual(), 0.25);
+  EXPECT_STREQ(e.what(), "stalled");
+}
+
+}  // namespace
+}  // namespace robust
