@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_discrete.dir/ablation_discrete.cpp.o"
+  "CMakeFiles/ablation_discrete.dir/ablation_discrete.cpp.o.d"
+  "ablation_discrete"
+  "ablation_discrete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_discrete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_norms.dir/ablation_norms.cpp.o"
+  "CMakeFiles/ablation_norms.dir/ablation_norms.cpp.o.d"
+  "ablation_norms"
+  "ablation_norms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_norms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

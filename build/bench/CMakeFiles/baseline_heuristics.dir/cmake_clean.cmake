@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_heuristics.dir/baseline_heuristics.cpp.o"
+  "CMakeFiles/baseline_heuristics.dir/baseline_heuristics.cpp.o.d"
+  "baseline_heuristics"
+  "baseline_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

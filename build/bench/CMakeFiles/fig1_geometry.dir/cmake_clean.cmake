@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_geometry.dir/fig1_geometry.cpp.o"
+  "CMakeFiles/fig1_geometry.dir/fig1_geometry.cpp.o.d"
+  "fig1_geometry"
+  "fig1_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_dag.dir/fig2_dag.cpp.o"
+  "CMakeFiles/fig2_dag.dir/fig2_dag.cpp.o.d"
+  "fig2_dag"
+  "fig2_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_makespan.dir/fig3_makespan.cpp.o"
+  "CMakeFiles/fig3_makespan.dir/fig3_makespan.cpp.o.d"
+  "fig3_makespan"
+  "fig3_makespan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_slack.dir/fig4_slack.cpp.o"
+  "CMakeFiles/fig4_slack.dir/fig4_slack.cpp.o.d"
+  "fig4_slack"
+  "fig4_slack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

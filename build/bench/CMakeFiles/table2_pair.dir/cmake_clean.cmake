@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_pair.dir/table2_pair.cpp.o"
+  "CMakeFiles/table2_pair.dir/table2_pair.cpp.o.d"
+  "table2_pair"
+  "table2_pair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_pair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

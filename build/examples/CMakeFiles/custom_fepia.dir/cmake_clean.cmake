@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_fepia.dir/custom_fepia.cpp.o"
+  "CMakeFiles/custom_fepia.dir/custom_fepia.cpp.o.d"
+  "custom_fepia"
+  "custom_fepia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_fepia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/heuristic_tradeoffs.cpp" "examples/CMakeFiles/heuristic_tradeoffs.dir/heuristic_tradeoffs.cpp.o" "gcc" "examples/CMakeFiles/heuristic_tradeoffs.dir/heuristic_tradeoffs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hiperd/CMakeFiles/robust_hiperd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/robust_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduling/CMakeFiles/robust_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/robust_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/robust_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/robust_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/robust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heuristic_tradeoffs.dir/heuristic_tradeoffs.cpp.o"
+  "CMakeFiles/heuristic_tradeoffs.dir/heuristic_tradeoffs.cpp.o.d"
+  "heuristic_tradeoffs"
+  "heuristic_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heuristic_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

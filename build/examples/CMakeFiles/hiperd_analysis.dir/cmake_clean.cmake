@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hiperd_analysis.dir/hiperd_analysis.cpp.o"
+  "CMakeFiles/hiperd_analysis.dir/hiperd_analysis.cpp.o.d"
+  "hiperd_analysis"
+  "hiperd_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hiperd_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

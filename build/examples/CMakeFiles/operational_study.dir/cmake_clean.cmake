@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operational_study.dir/operational_study.cpp.o"
+  "CMakeFiles/operational_study.dir/operational_study.cpp.o.d"
+  "operational_study"
+  "operational_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operational_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

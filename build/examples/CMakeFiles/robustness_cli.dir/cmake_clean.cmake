@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_cli.dir/robustness_cli.cpp.o"
+  "CMakeFiles/robustness_cli.dir/robustness_cli.cpp.o.d"
+  "robustness_cli"
+  "robustness_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

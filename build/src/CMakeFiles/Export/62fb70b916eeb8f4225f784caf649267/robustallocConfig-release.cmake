@@ -1,0 +1,79 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "Release".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "robustalloc::robust_hiperd" for configuration "Release"
+set_property(TARGET robustalloc::robust_hiperd APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(robustalloc::robust_hiperd PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/librobust_hiperd.a"
+  )
+
+list(APPEND _cmake_import_check_targets robustalloc::robust_hiperd )
+list(APPEND _cmake_import_check_files_for_robustalloc::robust_hiperd "${_IMPORT_PREFIX}/lib/librobust_hiperd.a" )
+
+# Import target "robustalloc::robust_sim" for configuration "Release"
+set_property(TARGET robustalloc::robust_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(robustalloc::robust_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/librobust_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets robustalloc::robust_sim )
+list(APPEND _cmake_import_check_files_for_robustalloc::robust_sim "${_IMPORT_PREFIX}/lib/librobust_sim.a" )
+
+# Import target "robustalloc::robust_sched" for configuration "Release"
+set_property(TARGET robustalloc::robust_sched APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(robustalloc::robust_sched PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/librobust_sched.a"
+  )
+
+list(APPEND _cmake_import_check_targets robustalloc::robust_sched )
+list(APPEND _cmake_import_check_files_for_robustalloc::robust_sched "${_IMPORT_PREFIX}/lib/librobust_sched.a" )
+
+# Import target "robustalloc::robust_core" for configuration "Release"
+set_property(TARGET robustalloc::robust_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(robustalloc::robust_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/librobust_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets robustalloc::robust_core )
+list(APPEND _cmake_import_check_files_for_robustalloc::robust_core "${_IMPORT_PREFIX}/lib/librobust_core.a" )
+
+# Import target "robustalloc::robust_random" for configuration "Release"
+set_property(TARGET robustalloc::robust_random APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(robustalloc::robust_random PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/librobust_random.a"
+  )
+
+list(APPEND _cmake_import_check_targets robustalloc::robust_random )
+list(APPEND _cmake_import_check_files_for_robustalloc::robust_random "${_IMPORT_PREFIX}/lib/librobust_random.a" )
+
+# Import target "robustalloc::robust_numeric" for configuration "Release"
+set_property(TARGET robustalloc::robust_numeric APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(robustalloc::robust_numeric PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/librobust_numeric.a"
+  )
+
+list(APPEND _cmake_import_check_targets robustalloc::robust_numeric )
+list(APPEND _cmake_import_check_files_for_robustalloc::robust_numeric "${_IMPORT_PREFIX}/lib/librobust_numeric.a" )
+
+# Import target "robustalloc::robust_util" for configuration "Release"
+set_property(TARGET robustalloc::robust_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(robustalloc::robust_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/librobust_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets robustalloc::robust_util )
+list(APPEND _cmake_import_check_files_for_robustalloc::robust_util "${_IMPORT_PREFIX}/lib/librobust_util.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

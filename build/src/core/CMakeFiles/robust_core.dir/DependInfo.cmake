@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analyzer.cpp" "src/core/CMakeFiles/robust_core.dir/analyzer.cpp.o" "gcc" "src/core/CMakeFiles/robust_core.dir/analyzer.cpp.o.d"
+  "/root/repo/src/core/boundary_trace.cpp" "src/core/CMakeFiles/robust_core.dir/boundary_trace.cpp.o" "gcc" "src/core/CMakeFiles/robust_core.dir/boundary_trace.cpp.o.d"
+  "/root/repo/src/core/discrete.cpp" "src/core/CMakeFiles/robust_core.dir/discrete.cpp.o" "gcc" "src/core/CMakeFiles/robust_core.dir/discrete.cpp.o.d"
+  "/root/repo/src/core/feature.cpp" "src/core/CMakeFiles/robust_core.dir/feature.cpp.o" "gcc" "src/core/CMakeFiles/robust_core.dir/feature.cpp.o.d"
+  "/root/repo/src/core/fepia.cpp" "src/core/CMakeFiles/robust_core.dir/fepia.cpp.o" "gcc" "src/core/CMakeFiles/robust_core.dir/fepia.cpp.o.d"
+  "/root/repo/src/core/impact.cpp" "src/core/CMakeFiles/robust_core.dir/impact.cpp.o" "gcc" "src/core/CMakeFiles/robust_core.dir/impact.cpp.o.d"
+  "/root/repo/src/core/report_io.cpp" "src/core/CMakeFiles/robust_core.dir/report_io.cpp.o" "gcc" "src/core/CMakeFiles/robust_core.dir/report_io.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/robust_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/robust_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/validation.cpp" "src/core/CMakeFiles/robust_core.dir/validation.cpp.o" "gcc" "src/core/CMakeFiles/robust_core.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/robust_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/robust_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/robust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_core.dir/analyzer.cpp.o"
+  "CMakeFiles/robust_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/robust_core.dir/boundary_trace.cpp.o"
+  "CMakeFiles/robust_core.dir/boundary_trace.cpp.o.d"
+  "CMakeFiles/robust_core.dir/discrete.cpp.o"
+  "CMakeFiles/robust_core.dir/discrete.cpp.o.d"
+  "CMakeFiles/robust_core.dir/feature.cpp.o"
+  "CMakeFiles/robust_core.dir/feature.cpp.o.d"
+  "CMakeFiles/robust_core.dir/fepia.cpp.o"
+  "CMakeFiles/robust_core.dir/fepia.cpp.o.d"
+  "CMakeFiles/robust_core.dir/impact.cpp.o"
+  "CMakeFiles/robust_core.dir/impact.cpp.o.d"
+  "CMakeFiles/robust_core.dir/report_io.cpp.o"
+  "CMakeFiles/robust_core.dir/report_io.cpp.o.d"
+  "CMakeFiles/robust_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/robust_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/robust_core.dir/validation.cpp.o"
+  "CMakeFiles/robust_core.dir/validation.cpp.o.d"
+  "librobust_core.a"
+  "librobust_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

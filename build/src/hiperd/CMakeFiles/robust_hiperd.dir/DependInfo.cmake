@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hiperd/experiment.cpp" "src/hiperd/CMakeFiles/robust_hiperd.dir/experiment.cpp.o" "gcc" "src/hiperd/CMakeFiles/robust_hiperd.dir/experiment.cpp.o.d"
+  "/root/repo/src/hiperd/generator.cpp" "src/hiperd/CMakeFiles/robust_hiperd.dir/generator.cpp.o" "gcc" "src/hiperd/CMakeFiles/robust_hiperd.dir/generator.cpp.o.d"
+  "/root/repo/src/hiperd/graph.cpp" "src/hiperd/CMakeFiles/robust_hiperd.dir/graph.cpp.o" "gcc" "src/hiperd/CMakeFiles/robust_hiperd.dir/graph.cpp.o.d"
+  "/root/repo/src/hiperd/load_function.cpp" "src/hiperd/CMakeFiles/robust_hiperd.dir/load_function.cpp.o" "gcc" "src/hiperd/CMakeFiles/robust_hiperd.dir/load_function.cpp.o.d"
+  "/root/repo/src/hiperd/pipeline_sim.cpp" "src/hiperd/CMakeFiles/robust_hiperd.dir/pipeline_sim.cpp.o" "gcc" "src/hiperd/CMakeFiles/robust_hiperd.dir/pipeline_sim.cpp.o.d"
+  "/root/repo/src/hiperd/scenario_io.cpp" "src/hiperd/CMakeFiles/robust_hiperd.dir/scenario_io.cpp.o" "gcc" "src/hiperd/CMakeFiles/robust_hiperd.dir/scenario_io.cpp.o.d"
+  "/root/repo/src/hiperd/slowdown.cpp" "src/hiperd/CMakeFiles/robust_hiperd.dir/slowdown.cpp.o" "gcc" "src/hiperd/CMakeFiles/robust_hiperd.dir/slowdown.cpp.o.d"
+  "/root/repo/src/hiperd/system.cpp" "src/hiperd/CMakeFiles/robust_hiperd.dir/system.cpp.o" "gcc" "src/hiperd/CMakeFiles/robust_hiperd.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/robust_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduling/CMakeFiles/robust_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/robust_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/robust_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/robust_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_hiperd.dir/experiment.cpp.o"
+  "CMakeFiles/robust_hiperd.dir/experiment.cpp.o.d"
+  "CMakeFiles/robust_hiperd.dir/generator.cpp.o"
+  "CMakeFiles/robust_hiperd.dir/generator.cpp.o.d"
+  "CMakeFiles/robust_hiperd.dir/graph.cpp.o"
+  "CMakeFiles/robust_hiperd.dir/graph.cpp.o.d"
+  "CMakeFiles/robust_hiperd.dir/load_function.cpp.o"
+  "CMakeFiles/robust_hiperd.dir/load_function.cpp.o.d"
+  "CMakeFiles/robust_hiperd.dir/pipeline_sim.cpp.o"
+  "CMakeFiles/robust_hiperd.dir/pipeline_sim.cpp.o.d"
+  "CMakeFiles/robust_hiperd.dir/scenario_io.cpp.o"
+  "CMakeFiles/robust_hiperd.dir/scenario_io.cpp.o.d"
+  "CMakeFiles/robust_hiperd.dir/slowdown.cpp.o"
+  "CMakeFiles/robust_hiperd.dir/slowdown.cpp.o.d"
+  "CMakeFiles/robust_hiperd.dir/system.cpp.o"
+  "CMakeFiles/robust_hiperd.dir/system.cpp.o.d"
+  "librobust_hiperd.a"
+  "librobust_hiperd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_hiperd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/differentiation.cpp" "src/numeric/CMakeFiles/robust_numeric.dir/differentiation.cpp.o" "gcc" "src/numeric/CMakeFiles/robust_numeric.dir/differentiation.cpp.o.d"
+  "/root/repo/src/numeric/hyperplane.cpp" "src/numeric/CMakeFiles/robust_numeric.dir/hyperplane.cpp.o" "gcc" "src/numeric/CMakeFiles/robust_numeric.dir/hyperplane.cpp.o.d"
+  "/root/repo/src/numeric/matrix.cpp" "src/numeric/CMakeFiles/robust_numeric.dir/matrix.cpp.o" "gcc" "src/numeric/CMakeFiles/robust_numeric.dir/matrix.cpp.o.d"
+  "/root/repo/src/numeric/optimize.cpp" "src/numeric/CMakeFiles/robust_numeric.dir/optimize.cpp.o" "gcc" "src/numeric/CMakeFiles/robust_numeric.dir/optimize.cpp.o.d"
+  "/root/repo/src/numeric/root_find.cpp" "src/numeric/CMakeFiles/robust_numeric.dir/root_find.cpp.o" "gcc" "src/numeric/CMakeFiles/robust_numeric.dir/root_find.cpp.o.d"
+  "/root/repo/src/numeric/vector_ops.cpp" "src/numeric/CMakeFiles/robust_numeric.dir/vector_ops.cpp.o" "gcc" "src/numeric/CMakeFiles/robust_numeric.dir/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/robust_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

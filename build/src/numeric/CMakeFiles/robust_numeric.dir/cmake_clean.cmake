@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_numeric.dir/differentiation.cpp.o"
+  "CMakeFiles/robust_numeric.dir/differentiation.cpp.o.d"
+  "CMakeFiles/robust_numeric.dir/hyperplane.cpp.o"
+  "CMakeFiles/robust_numeric.dir/hyperplane.cpp.o.d"
+  "CMakeFiles/robust_numeric.dir/matrix.cpp.o"
+  "CMakeFiles/robust_numeric.dir/matrix.cpp.o.d"
+  "CMakeFiles/robust_numeric.dir/optimize.cpp.o"
+  "CMakeFiles/robust_numeric.dir/optimize.cpp.o.d"
+  "CMakeFiles/robust_numeric.dir/root_find.cpp.o"
+  "CMakeFiles/robust_numeric.dir/root_find.cpp.o.d"
+  "CMakeFiles/robust_numeric.dir/vector_ops.cpp.o"
+  "CMakeFiles/robust_numeric.dir/vector_ops.cpp.o.d"
+  "librobust_numeric.a"
+  "librobust_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_random.dir/distributions.cpp.o"
+  "CMakeFiles/robust_random.dir/distributions.cpp.o.d"
+  "librobust_random.a"
+  "librobust_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

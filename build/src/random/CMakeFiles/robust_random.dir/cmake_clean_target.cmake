@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librobust_random.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scheduling/etc.cpp" "src/scheduling/CMakeFiles/robust_sched.dir/etc.cpp.o" "gcc" "src/scheduling/CMakeFiles/robust_sched.dir/etc.cpp.o.d"
+  "/root/repo/src/scheduling/etc_io.cpp" "src/scheduling/CMakeFiles/robust_sched.dir/etc_io.cpp.o" "gcc" "src/scheduling/CMakeFiles/robust_sched.dir/etc_io.cpp.o.d"
+  "/root/repo/src/scheduling/experiment.cpp" "src/scheduling/CMakeFiles/robust_sched.dir/experiment.cpp.o" "gcc" "src/scheduling/CMakeFiles/robust_sched.dir/experiment.cpp.o.d"
+  "/root/repo/src/scheduling/heuristics.cpp" "src/scheduling/CMakeFiles/robust_sched.dir/heuristics.cpp.o" "gcc" "src/scheduling/CMakeFiles/robust_sched.dir/heuristics.cpp.o.d"
+  "/root/repo/src/scheduling/independent_system.cpp" "src/scheduling/CMakeFiles/robust_sched.dir/independent_system.cpp.o" "gcc" "src/scheduling/CMakeFiles/robust_sched.dir/independent_system.cpp.o.d"
+  "/root/repo/src/scheduling/mapping.cpp" "src/scheduling/CMakeFiles/robust_sched.dir/mapping.cpp.o" "gcc" "src/scheduling/CMakeFiles/robust_sched.dir/mapping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/robust_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/robust_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/robust_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/robust_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

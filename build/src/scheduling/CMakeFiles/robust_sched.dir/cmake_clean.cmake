@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_sched.dir/etc.cpp.o"
+  "CMakeFiles/robust_sched.dir/etc.cpp.o.d"
+  "CMakeFiles/robust_sched.dir/etc_io.cpp.o"
+  "CMakeFiles/robust_sched.dir/etc_io.cpp.o.d"
+  "CMakeFiles/robust_sched.dir/experiment.cpp.o"
+  "CMakeFiles/robust_sched.dir/experiment.cpp.o.d"
+  "CMakeFiles/robust_sched.dir/heuristics.cpp.o"
+  "CMakeFiles/robust_sched.dir/heuristics.cpp.o.d"
+  "CMakeFiles/robust_sched.dir/independent_system.cpp.o"
+  "CMakeFiles/robust_sched.dir/independent_system.cpp.o.d"
+  "CMakeFiles/robust_sched.dir/mapping.cpp.o"
+  "CMakeFiles/robust_sched.dir/mapping.cpp.o.d"
+  "librobust_sched.a"
+  "librobust_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_sim.dir/executor.cpp.o"
+  "CMakeFiles/robust_sim.dir/executor.cpp.o.d"
+  "CMakeFiles/robust_sim.dir/perturbation.cpp.o"
+  "CMakeFiles/robust_sim.dir/perturbation.cpp.o.d"
+  "CMakeFiles/robust_sim.dir/study.cpp.o"
+  "CMakeFiles/robust_sim.dir/study.cpp.o.d"
+  "librobust_sim.a"
+  "librobust_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_util.dir/args.cpp.o"
+  "CMakeFiles/robust_util.dir/args.cpp.o.d"
+  "CMakeFiles/robust_util.dir/error.cpp.o"
+  "CMakeFiles/robust_util.dir/error.cpp.o.d"
+  "CMakeFiles/robust_util.dir/stats.cpp.o"
+  "CMakeFiles/robust_util.dir/stats.cpp.o.d"
+  "CMakeFiles/robust_util.dir/table.cpp.o"
+  "CMakeFiles/robust_util.dir/table.cpp.o.d"
+  "CMakeFiles/robust_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/robust_util.dir/thread_pool.cpp.o.d"
+  "librobust_util.a"
+  "librobust_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_analyzer.dir/test_core_analyzer.cpp.o"
+  "CMakeFiles/test_core_analyzer.dir/test_core_analyzer.cpp.o.d"
+  "test_core_analyzer"
+  "test_core_analyzer.pdb"
+  "test_core_analyzer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

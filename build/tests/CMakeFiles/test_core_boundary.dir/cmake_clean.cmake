@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_boundary.dir/test_core_boundary.cpp.o"
+  "CMakeFiles/test_core_boundary.dir/test_core_boundary.cpp.o.d"
+  "test_core_boundary"
+  "test_core_boundary.pdb"
+  "test_core_boundary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

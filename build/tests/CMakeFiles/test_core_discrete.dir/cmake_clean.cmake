@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_discrete.dir/test_core_discrete.cpp.o"
+  "CMakeFiles/test_core_discrete.dir/test_core_discrete.cpp.o.d"
+  "test_core_discrete"
+  "test_core_discrete.pdb"
+  "test_core_discrete[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_discrete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

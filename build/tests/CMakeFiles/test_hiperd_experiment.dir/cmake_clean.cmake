@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hiperd_experiment.dir/test_hiperd_experiment.cpp.o"
+  "CMakeFiles/test_hiperd_experiment.dir/test_hiperd_experiment.cpp.o.d"
+  "test_hiperd_experiment"
+  "test_hiperd_experiment.pdb"
+  "test_hiperd_experiment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hiperd_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hiperd_graph.dir/test_hiperd_graph.cpp.o"
+  "CMakeFiles/test_hiperd_graph.dir/test_hiperd_graph.cpp.o.d"
+  "test_hiperd_graph"
+  "test_hiperd_graph.pdb"
+  "test_hiperd_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hiperd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

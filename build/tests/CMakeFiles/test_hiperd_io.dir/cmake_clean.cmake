@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hiperd_io.dir/test_hiperd_io.cpp.o"
+  "CMakeFiles/test_hiperd_io.dir/test_hiperd_io.cpp.o.d"
+  "test_hiperd_io"
+  "test_hiperd_io.pdb"
+  "test_hiperd_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hiperd_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hiperd_pipeline.dir/test_hiperd_pipeline.cpp.o"
+  "CMakeFiles/test_hiperd_pipeline.dir/test_hiperd_pipeline.cpp.o.d"
+  "test_hiperd_pipeline"
+  "test_hiperd_pipeline.pdb"
+  "test_hiperd_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hiperd_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

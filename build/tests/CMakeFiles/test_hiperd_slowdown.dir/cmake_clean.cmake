@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hiperd_slowdown.dir/test_hiperd_slowdown.cpp.o"
+  "CMakeFiles/test_hiperd_slowdown.dir/test_hiperd_slowdown.cpp.o.d"
+  "test_hiperd_slowdown"
+  "test_hiperd_slowdown.pdb"
+  "test_hiperd_slowdown[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hiperd_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

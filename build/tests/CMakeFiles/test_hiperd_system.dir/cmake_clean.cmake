@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hiperd_system.dir/test_hiperd_system.cpp.o"
+  "CMakeFiles/test_hiperd_system.dir/test_hiperd_system.cpp.o.d"
+  "test_hiperd_system"
+  "test_hiperd_system.pdb"
+  "test_hiperd_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hiperd_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

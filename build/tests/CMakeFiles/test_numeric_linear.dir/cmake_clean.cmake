@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numeric_linear.dir/test_numeric_linear.cpp.o"
+  "CMakeFiles/test_numeric_linear.dir/test_numeric_linear.cpp.o.d"
+  "test_numeric_linear"
+  "test_numeric_linear.pdb"
+  "test_numeric_linear[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numeric_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numeric_solvers.dir/test_numeric_solvers.cpp.o"
+  "CMakeFiles/test_numeric_solvers.dir/test_numeric_solvers.cpp.o.d"
+  "test_numeric_solvers"
+  "test_numeric_solvers.pdb"
+  "test_numeric_solvers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numeric_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

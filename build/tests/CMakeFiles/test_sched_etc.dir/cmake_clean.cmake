@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_etc.dir/test_sched_etc.cpp.o"
+  "CMakeFiles/test_sched_etc.dir/test_sched_etc.cpp.o.d"
+  "test_sched_etc"
+  "test_sched_etc.pdb"
+  "test_sched_etc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_etc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_heuristics.dir/test_sched_heuristics.cpp.o"
+  "CMakeFiles/test_sched_heuristics.dir/test_sched_heuristics.cpp.o.d"
+  "test_sched_heuristics"
+  "test_sched_heuristics.pdb"
+  "test_sched_heuristics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_system.dir/test_sched_system.cpp.o"
+  "CMakeFiles/test_sched_system.dir/test_sched_system.cpp.o.d"
+  "test_sched_system"
+  "test_sched_system.pdb"
+  "test_sched_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

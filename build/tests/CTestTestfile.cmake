@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_numeric_linear[1]_include.cmake")
+include("/root/repo/build/tests/test_numeric_solvers[1]_include.cmake")
+include("/root/repo/build/tests/test_core_framework[1]_include.cmake")
+include("/root/repo/build/tests/test_core_analyzer[1]_include.cmake")
+include("/root/repo/build/tests/test_core_discrete[1]_include.cmake")
+include("/root/repo/build/tests/test_core_sensitivity[1]_include.cmake")
+include("/root/repo/build/tests/test_core_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_core_boundary[1]_include.cmake")
+include("/root/repo/build/tests/test_sched_etc[1]_include.cmake")
+include("/root/repo/build/tests/test_sched_system[1]_include.cmake")
+include("/root/repo/build/tests/test_sched_heuristics[1]_include.cmake")
+include("/root/repo/build/tests/test_hiperd_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_hiperd_system[1]_include.cmake")
+include("/root/repo/build/tests/test_hiperd_generator[1]_include.cmake")
+include("/root/repo/build/tests/test_hiperd_slowdown[1]_include.cmake")
+include("/root/repo/build/tests/test_hiperd_io[1]_include.cmake")
+include("/root/repo/build/tests/test_hiperd_experiment[1]_include.cmake")
+include("/root/repo/build/tests/test_hiperd_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
