@@ -5,12 +5,19 @@
 // (with the slack metric reported alongside, showing the two objectives are
 // not interchangeable).
 //
+// A second section runs the same study on the independent-task ETC model,
+// where the standard objectives go through the incremental evaluation
+// engine (IncrementalEvaluator) instead of a from-scratch analyze() per
+// probe — the HiPer-D objective stays generic because its feasibility
+// analysis is not expressible as machine-load deltas.
+//
 // Run: ./ablation_mapping_search [--seed S] [--random N] [--iters N]
 #include <algorithm>
 #include <iostream>
 
 #include "robust/hiperd/experiment.hpp"
 #include "robust/scheduling/heuristics.hpp"
+#include "robust/scheduling/independent_system.hpp"
 #include "robust/util/args.hpp"
 #include "robust/util/table.hpp"
 
@@ -78,5 +85,51 @@ int main(int argc, char** argv) {
                "population's reach —\nthe optimization use case the metric "
                "enables (compare the slack column: the\nmost robust mapping "
                "is not the slackest one).\n";
+
+  // --- Independent-task ETC section: incremental evaluation engine ---
+  const double tau = 1.2;
+  sched::EtcOptions etcOptions;
+  etcOptions.apps = 64;
+  etcOptions.machines = 8;
+  Pcg32 etcRng(seed);
+  const auto etc = sched::generateEtc(etcOptions, etcRng);
+  const auto rho = [&](const sched::Mapping& mapping) {
+    return sched::IndependentTaskSystem(etc, mapping, tau)
+        .analyze()
+        .robustness;
+  };
+
+  Pcg32 popRng(seed, /*stream=*/3);
+  sched::Mapping bestEtc =
+      sched::randomMapping(etc.apps(), etc.machines(), popRng);
+  for (std::size_t m = 1; m < randomCount; ++m) {
+    sched::Mapping candidate =
+        sched::randomMapping(etc.apps(), etc.machines(), popRng);
+    if (rho(candidate) > rho(bestEtc)) {
+      bestEtc = std::move(candidate);
+    }
+  }
+
+  const auto etcObjective = sched::EtcObjective::negatedRobustness(tau);
+  sched::AnnealingOptions etcAnnealing = annealing;
+  const sched::Mapping etcAnnealed =
+      sched::simulatedAnnealing(etc, bestEtc, etcObjective, etcAnnealing);
+  const sched::Mapping etcPolished =
+      sched::localSearch(etc, etcAnnealed, etcObjective);
+
+  std::cout << "\n# Independent-task ETC search (" << etcOptions.apps << " x "
+            << etcOptions.machines
+            << ", incremental evaluation engine, tau = " << tau << ")\n\n";
+  TablePrinter etcTable({"mapping", "robustness rho"});
+  etcTable.addRow({"best of " + std::to_string(randomCount) + " random",
+                   formatDouble(rho(bestEtc), 6)});
+  etcTable.addRow({"annealed (max rho)", formatDouble(rho(etcAnnealed), 6)});
+  etcTable.addRow(
+      {"annealed + local search", formatDouble(rho(etcPolished), 6)});
+  etcTable.print(std::cout);
+  std::cout << "\nthe standard objectives run through IncrementalEvaluator: "
+               "each probe costs a\ntwo-machine re-sum instead of a full "
+               "analyze(), so the same budget explores\nfar more of the "
+               "neighborhood.\n";
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "robust/numeric/optimize.hpp"
 #include "robust/scheduling/experiment.hpp"
 #include "robust/scheduling/heuristics.hpp"
+#include "robust/scheduling/incremental.hpp"
 
 namespace {
 
@@ -16,6 +17,14 @@ using namespace robust;
 
 sched::EtcMatrix benchEtc() {
   sched::EtcOptions options;
+  Pcg32 rng(1);
+  return sched::generateEtc(options, rng);
+}
+
+sched::EtcMatrix benchEtcSized(std::size_t apps, std::size_t machines) {
+  sched::EtcOptions options;
+  options.apps = apps;
+  options.machines = machines;
   Pcg32 rng(1);
   return sched::generateEtc(options, rng);
 }
@@ -99,6 +108,86 @@ void BM_MinMinHeuristic(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MinMinHeuristic);
+
+// --- mapping-evaluation engine: from-scratch rebuild vs incremental move ---
+//
+// BM_FullReanalyze is what every neighborhood probe cost before the
+// incremental engine: construct an IndependentTaskSystem and analyze().
+// BM_IncrementalMove is the same probe through IncrementalEvaluator.
+void BM_FullReanalyze(benchmark::State& state) {
+  const auto etc = benchEtcSized(static_cast<std::size_t>(state.range(0)),
+                                 static_cast<std::size_t>(state.range(1)));
+  Pcg32 rng(2);
+  auto mapping = sched::randomMapping(etc.apps(), etc.machines(), rng);
+  std::size_t app = 0;
+  for (auto _ : state) {
+    const std::size_t machine =
+        (mapping.machineOf(app) + 1) % etc.machines();
+    mapping.assign(app, machine);
+    benchmark::DoNotOptimize(
+        sched::IndependentTaskSystem(etc, mapping, 1.2).analyze());
+    app = (app + 1) % etc.apps();
+  }
+}
+BENCHMARK(BM_FullReanalyze)->Args({20, 5})->Args({200, 16})->Args({1000, 64});
+
+void BM_IncrementalMove(benchmark::State& state) {
+  const auto etc = benchEtcSized(static_cast<std::size_t>(state.range(0)),
+                                 static_cast<std::size_t>(state.range(1)));
+  Pcg32 rng(2);
+  const auto mapping = sched::randomMapping(etc.apps(), etc.machines(), rng);
+  sched::IncrementalEvaluator evaluator(etc, mapping, 1.2);
+  std::size_t app = 0;
+  for (auto _ : state) {
+    const std::size_t machine =
+        (evaluator.mapping().machineOf(app) + 1) % etc.machines();
+    benchmark::DoNotOptimize(evaluator.tryMove(app, machine));
+    evaluator.commit();
+    app = (app + 1) % etc.apps();
+  }
+}
+BENCHMARK(BM_IncrementalMove)
+    ->Args({20, 5})
+    ->Args({200, 16})
+    ->Args({1000, 64});
+
+// One full best-improvement localSearch round (apps x machines probes) via
+// the generic from-scratch objective vs the incremental engine. The >= 10x
+// target of the incremental engine is measured here at the default bench
+// instance size ({20, 5}).
+void BM_LocalSearchRoundGeneric(benchmark::State& state) {
+  const auto etc = benchEtcSized(static_cast<std::size_t>(state.range(0)),
+                                 static_cast<std::size_t>(state.range(1)));
+  const auto start = sched::roundRobinMapping(etc);
+  const auto objective =
+      sched::EtcObjective::negatedRobustness(1.2).generic(etc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::localSearch(etc, start, objective, 1));
+  }
+}
+BENCHMARK(BM_LocalSearchRoundGeneric)
+    ->Args({20, 5})
+    ->Args({200, 16})
+    ->Args({1000, 64});
+
+void BM_LocalSearchRoundIncremental(benchmark::State& state) {
+  const auto etc = benchEtcSized(static_cast<std::size_t>(state.range(0)),
+                                 static_cast<std::size_t>(state.range(1)));
+  const auto start = sched::roundRobinMapping(etc);
+  const auto objective = sched::EtcObjective::negatedRobustness(1.2);
+  sched::LocalSearchOptions options;
+  options.maxRounds = 1;
+  options.threads = static_cast<std::size_t>(state.range(2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::localSearch(etc, start, objective, options));
+  }
+}
+BENCHMARK(BM_LocalSearchRoundIncremental)
+    ->Args({20, 5, 1})
+    ->Args({200, 16, 1})
+    ->Args({200, 16, 0})  // threads = 0: ROBUST_THREADS / hardware width
+    ->Args({1000, 64, 1});
 
 void BM_HiperdScenarioGeneration(benchmark::State& state) {
   const hiperd::ScenarioOptions options;

@@ -58,11 +58,14 @@ int main(int argc, char** argv) {
   // Iterative improvement: classic makespan minimization vs robustness
   // maximization under a 15% makespan cap (unconstrained robustness
   // maximization degenerates — see cappedRobustnessObjective's docs).
-  const auto makespanObj = sched::makespanObjective(etc);
+  // The EtcObjective forms route local search / annealing / the GA through
+  // the incremental evaluation engine; results are bit-identical to the
+  // generic-closure path, just cheaper per candidate.
+  const auto makespanObj = sched::EtcObjective::makespan();
   const sched::Mapping seedMapping = sched::mctMapping(etc);
   const double cap =
       1.15 * sched::makespan(etc, sched::minMinMapping(etc));
-  const auto robustObj = sched::cappedRobustnessObjective(etc, tau, cap);
+  const auto robustObj = sched::EtcObjective::cappedRobustness(tau, cap);
 
   report(table, "local-search(makespan)", etc,
          sched::localSearch(etc, seedMapping, makespanObj), tau);
@@ -79,9 +82,9 @@ int main(int argc, char** argv) {
          tau);
 
   report(table, "tabu(makespan)", etc,
-         sched::tabuSearch(etc, seedMapping, makespanObj), tau);
+         sched::tabuSearch(etc, seedMapping, makespanObj.generic(etc)), tau);
   report(table, "tabu(robust|cap)", etc,
-         sched::tabuSearch(etc, seedMapping, robustObj), tau);
+         sched::tabuSearch(etc, seedMapping, robustObj.generic(etc)), tau);
 
   sched::GeneticOptions genetic;
   genetic.seed = seed;

@@ -21,6 +21,37 @@ namespace robust::sched {
 /// Objective to MINIMIZE over mappings.
 using MappingObjective = std::function<double(const Mapping&)>;
 
+/// Structured description of the standard ETC objectives. The iterative
+/// optimizers recognize this form and score candidates with the incremental
+/// evaluation engine (robust/scheduling/incremental.hpp) — O(apps/machines)
+/// amortized per candidate instead of an O(apps + machines) system rebuild —
+/// while producing results bit-identical to the generic MappingObjective
+/// closures below (the engine replays the exact analyze() float operations).
+/// Custom objectives keep using the MappingObjective overloads.
+struct EtcObjective {
+  enum class Kind {
+    Makespan,           ///< minimize the makespan
+    NegatedRobustness,  ///< maximize the Eq. 7 metric (see the factory docs)
+    CappedRobustness,   ///< maximize the metric s.t. makespan <= makespanCap
+  };
+  Kind kind = Kind::Makespan;
+  double tau = 1.2;          ///< tolerance; used by the robustness kinds
+  double makespanCap = 0.0;  ///< used by CappedRobustness only
+
+  [[nodiscard]] static EtcObjective makespan();
+  [[nodiscard]] static EtcObjective negatedRobustness(double tau);
+  [[nodiscard]] static EtcObjective cappedRobustness(double tau,
+                                                     double makespanCap);
+
+  /// The value to minimize, given a candidate's makespan and Eq. 7 metric.
+  /// Identical arithmetic to the matching MappingObjective closure.
+  [[nodiscard]] double score(double makespanValue, double robustness) const;
+
+  /// The equivalent generic closure (for optimizers without a structured
+  /// overload, and for cross-checking the incremental path in tests).
+  [[nodiscard]] MappingObjective generic(const EtcMatrix& etc) const;
+};
+
 /// Classic objective: the makespan of the mapping.
 [[nodiscard]] MappingObjective makespanObjective(const EtcMatrix& etc);
 
@@ -103,6 +134,25 @@ struct TabuOptions {
                                   const MappingObjective& objective,
                                   int maxRounds = 1000);
 
+/// Options for the incremental local search overload.
+struct LocalSearchOptions {
+  int maxRounds = 1000;
+  /// Neighborhood-scan workers: 1 = serial, 0 = defaultThreadCount()
+  /// (ROBUST_THREADS / hardware). The scan partitions applications into
+  /// contiguous blocks and reduces block winners with the deterministic
+  /// tie-break "lowest (app, machine) wins", so the chosen move — and hence
+  /// the final mapping — is bit-identical for every thread count.
+  std::size_t threads = 1;
+};
+
+/// Steepest-descent local search on a standard ETC objective, scored by the
+/// incremental evaluation engine. Bit-identical to the generic overload with
+/// `objective.generic(etc)`; optionally evaluates the neighborhood in
+/// parallel (see LocalSearchOptions::threads).
+[[nodiscard]] Mapping localSearch(const EtcMatrix& etc, Mapping start,
+                                  const EtcObjective& objective,
+                                  const LocalSearchOptions& options = {});
+
 /// Options for simulated annealing.
 struct AnnealingOptions {
   int iterations = 20000;
@@ -126,6 +176,14 @@ struct AnnealingOptions {
                                          const MappingObjective& objective,
                                          const AnnealingOptions& options = {});
 
+/// Simulated annealing on a standard ETC objective, scored incrementally
+/// (one tryMove per proposal instead of a full system rebuild). Mirrors the
+/// generic annealMapping loop RNG-draw for RNG-draw, so for the same seed it
+/// returns exactly the mapping the generic path would.
+[[nodiscard]] Mapping simulatedAnnealing(const EtcMatrix& etc, Mapping start,
+                                         const EtcObjective& objective,
+                                         const AnnealingOptions& options = {});
+
 /// Options for the genetic algorithm.
 struct GeneticOptions {
   int populationSize = 60;
@@ -142,6 +200,14 @@ struct GeneticOptions {
 /// provided mapping plus random ones.
 [[nodiscard]] Mapping geneticAlgorithm(const EtcMatrix& etc, Mapping seedMapping,
                                        const MappingObjective& objective,
+                                       const GeneticOptions& options = {});
+
+/// Genetic algorithm on a standard ETC objective. Individuals are scored
+/// with the reusable-buffer ScratchEvaluator (no per-evaluation Mapping
+/// construction or allocation); same RNG stream as the generic overload, so
+/// results are bit-identical to it for the same seed.
+[[nodiscard]] Mapping geneticAlgorithm(const EtcMatrix& etc, Mapping seedMapping,
+                                       const EtcObjective& objective,
                                        const GeneticOptions& options = {});
 
 /// Registry entry for the constructive heuristics, used by the comparison

@@ -1,0 +1,194 @@
+// Incremental evaluation of the Section 3.1 makespan/robustness pair for
+// mapping search.
+//
+// The search heuristics (local search, annealing, GA, tabu) score thousands
+// of candidate mappings that differ from the incumbent by one reassignment
+// or one swap. Rebuilding an IndependentTaskSystem per candidate costs
+// O(apps + machines) plus several allocations; the evaluators here answer
+// the same query from cached state:
+//
+//   - `ScratchEvaluator`: from-scratch O(apps + machines) evaluation with
+//     reused buffers and zero steady-state allocations (the population /
+//     arbitrary-genome path).
+//   - `IncrementalEvaluator`: stateful tryMove/trySwap/commit/revert around
+//     one incumbent mapping. A candidate re-sums only the two touched
+//     machines' finishing times (O(n(m_j)) average = apps/machines) and
+//     re-minimizes the Eq. 6 radii in O(machines) for small machine counts
+//     or O(distinct counts + log machines) via sorted load structures for
+//     large ones.
+//
+// Exactness contract: every result is BIT-IDENTICAL to
+// IndependentTaskSystem::analyze() on the corresponding mapping — same
+// makespan, same Eq. 7 metric, same binding machine. This holds because the
+// evaluators replay the exact float operations of the from-scratch path:
+// per-machine finishing times are re-summed in ascending application-index
+// order (the `finishingTimes` accumulation order; float addition is not
+// associative, so incremental += / -= replay would drift), and the
+// max/argmin reductions use the same strict comparisons as `analyze()`.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "robust/scheduling/etc.hpp"
+#include "robust/scheduling/independent_system.hpp"
+#include "robust/scheduling/mapping.hpp"
+
+namespace robust::sched {
+
+/// The per-candidate quantities mapping search needs: the predicted makespan,
+/// the Eq. 7 metric, and the machine whose Eq. 6 radius attains it.
+struct EvalResult {
+  double makespan = 0.0;
+  double robustness = std::numeric_limits<double>::infinity();
+  std::size_t bindingMachine = 0;
+};
+
+/// From-scratch evaluation with reusable buffers: O(apps + machines) per
+/// call, no allocations after the first. Exactly matches
+/// IndependentTaskSystem::analyze() on the same assignment.
+class ScratchEvaluator {
+ public:
+  /// Binds the ETC matrix and tolerance (tau >= 1, as in
+  /// IndependentTaskSystem).
+  ScratchEvaluator(const EtcMatrix& etc, double tau);
+
+  [[nodiscard]] double tau() const noexcept { return tau_; }
+
+  /// Evaluates an assignment vector (one machine index per application;
+  /// every entry must be < etc.machines()).
+  [[nodiscard]] EvalResult evaluate(std::span<const std::size_t> assignment);
+
+ private:
+  const EtcMatrix* etc_;
+  double tau_;
+  std::vector<double> load_;
+  std::vector<std::size_t> count_;
+  std::vector<double> sqrtCount_;  ///< sqrt(c) for c = 0..apps (exact: IEEE
+                                   ///< sqrt is correctly rounded)
+};
+
+/// Tuning knobs for IncrementalEvaluator.
+struct IncrementalOptions {
+  /// With at most this many machines the candidate max/min reductions scan
+  /// the dense load/count arrays (contiguous, branch-light — faster than
+  /// pointer-chasing for small fleets). Above it, sorted structures answer
+  /// the same queries in O(distinct counts + log machines). Both paths are
+  /// exact; tests force each explicitly.
+  std::size_t denseMachineThreshold = 32;
+};
+
+/// Stateful incremental evaluator around one incumbent mapping.
+///
+/// Protocol: `tryMove` / `trySwap` score a candidate WITHOUT changing the
+/// incumbent and stage it as pending; `commit()` applies the staged
+/// candidate; `revert()` discards it. Staging is overwritten by the next
+/// try, so reject-and-continue loops need no explicit revert.
+///
+/// Copyable (parallel neighborhood scans give each worker its own copy).
+class IncrementalEvaluator {
+ public:
+  IncrementalEvaluator(const EtcMatrix& etc, Mapping start, double tau,
+                       const IncrementalOptions& options = {});
+
+  [[nodiscard]] const Mapping& mapping() const noexcept { return mapping_; }
+  [[nodiscard]] double tau() const noexcept { return tau_; }
+
+  /// The incumbent's analysis (cached; O(1)).
+  [[nodiscard]] const EvalResult& current() const noexcept { return current_; }
+
+  /// Scores reassigning `app` to `machine`. A no-op move (machine already
+  /// assigned) returns `current()` and stages nothing.
+  EvalResult tryMove(std::size_t app, std::size_t machine);
+
+  /// Scores exchanging the machines of `appA` and `appB`. Apps sharing a
+  /// machine are a no-op (returns `current()`, stages nothing).
+  EvalResult trySwap(std::size_t appA, std::size_t appB);
+
+  /// Applies the staged candidate. Returns false when nothing is staged.
+  bool commit();
+
+  /// Discards the staged candidate (the incumbent was never modified).
+  void revert() noexcept { pending_.active = false; }
+
+  /// Replaces the incumbent wholesale (O(apps + machines log machines)).
+  void reset(Mapping mapping);
+
+ private:
+  // One staged candidate: up to two apps reassigned, exactly two machines
+  // with re-summed loads and adjusted counts.
+  struct Pending {
+    bool active = false;
+    std::size_t appA = 0, appB = 0;       ///< appB == appA for a move
+    std::size_t machineA = 0, machineB = 0;  ///< new machine per app
+    std::size_t touchedA = 0, touchedB = 0;  ///< the two changed machines
+    double loadA = 0.0, loadB = 0.0;         ///< their new finishing times
+    std::size_t countA = 0, countB = 0;      ///< their new app counts
+    EvalResult result;
+  };
+
+  // Sorted-load entry ordering: load ascending, machine index DESCENDING,
+  // so the greatest element is (max load, smallest index among that load) —
+  // the candidate analyze() would report on ties.
+  struct LoadOrder {
+    bool operator()(const std::pair<double, std::size_t>& a,
+                    const std::pair<double, std::size_t>& b) const noexcept {
+      return a.first < b.first || (a.first == b.first && a.second > b.second);
+    }
+  };
+  using LoadSet = std::set<std::pair<double, std::size_t>, LoadOrder>;
+
+  [[nodiscard]] bool useDense() const noexcept {
+    return etc_->machines() <= options_.denseMachineThreshold;
+  }
+
+  /// Finishing time of machine `j` with `skip` removed and `add` inserted
+  /// (either may be kNone), summed in ascending application-index order.
+  [[nodiscard]] double resum(std::size_t j, std::size_t skip,
+                             std::size_t add) const;
+
+  /// (makespan, metric, binding) with machines `ta`/`tb` overridden to the
+  /// given loads/counts; all other machines read from committed state. The
+  /// dense path temporarily writes the overrides into the committed arrays
+  /// (and restores them), so these are non-const.
+  [[nodiscard]] EvalResult evaluateTouched(std::size_t ta, double la,
+                                           std::size_t ca, std::size_t tb,
+                                           double lb, std::size_t cb);
+  [[nodiscard]] EvalResult evaluateDense(std::size_t ta, double la,
+                                         std::size_t ca, std::size_t tb,
+                                         double lb, std::size_t cb);
+  [[nodiscard]] EvalResult evaluateSorted(std::size_t ta, double la,
+                                          std::size_t ca, std::size_t tb,
+                                          double lb, std::size_t cb) const;
+
+  void rebuild();
+  void applyMachineUpdate(std::size_t machine, double newLoad,
+                          std::size_t newCount);
+
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  const EtcMatrix* etc_;
+  double tau_;
+  IncrementalOptions options_;
+  Mapping mapping_;
+  std::vector<double> load_;                       ///< F_j per machine
+  std::vector<std::size_t> count_;                 ///< n(m_j) per machine
+  std::vector<std::vector<std::size_t>> machineApps_;  ///< sorted app ids
+  // Sorted-load structures (maintained only on the non-dense path).
+  LoadSet allLoads_;                               ///< every machine
+  std::map<std::size_t, LoadSet> byCount_;         ///< count -> machines
+  std::vector<double> sqrtCount_;                  ///< sqrt(c), c = 0..apps
+  EvalResult current_;
+  Pending pending_;
+  // Neighborhood scans probe the same app against every machine; the
+  // app-removal re-sum of its source machine is identical across those
+  // probes, so tryMove caches it until the incumbent changes.
+  std::size_t cachedRemovalApp_ = kNone;
+  double cachedRemovalLoad_ = 0.0;
+};
+
+}  // namespace robust::sched

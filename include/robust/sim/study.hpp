@@ -35,9 +35,16 @@ struct StudyOptions {
   std::vector<double> magnitudes = {0.02, 0.05, 0.1, 0.2, 0.4};
   int trials = 2000;              ///< per magnitude
   std::uint64_t seed = 1;
+  /// Trial-loop workers: 0 = defaultThreadCount() (ROBUST_THREADS /
+  /// hardware), 1 = serial. Every trial draws from its own makeStream
+  /// substream and writes a dedicated output slot, and the aggregation is a
+  /// serial reduction in trial order — so the results are bit-identical for
+  /// every worker count.
+  std::size_t threads = 0;
 };
 
-/// Runs the study for one mapping. Deterministic in (options, seed).
+/// Runs the study for one mapping. Deterministic in (options, seed),
+/// independent of the worker count.
 [[nodiscard]] std::vector<StudyPoint> runMakespanStudy(
     const sched::IndependentTaskSystem& system, const StudyOptions& options);
 

@@ -50,6 +50,11 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// Worker count used wherever callers pass `threads = 0`: the
+/// ROBUST_THREADS environment variable when set to a positive integer,
+/// otherwise hardware concurrency (minimum 1). Read once and cached.
+[[nodiscard]] std::size_t defaultThreadCount() noexcept;
+
 /// Runs body(i) for i in [begin, end) across the pool in contiguous blocks
 /// and blocks until completion. With a single hardware thread this degrades
 /// gracefully to a serial loop (no pool spun up).

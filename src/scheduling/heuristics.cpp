@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
+#include "robust/scheduling/incremental.hpp"
 #include "robust/scheduling/independent_system.hpp"
 #include "robust/util/error.hpp"
+#include "robust/util/thread_pool.hpp"
 
 namespace robust::sched {
 
@@ -53,7 +56,59 @@ struct ListState {
   }
 };
 
+/// Validates an EtcObjective and returns the tolerance to construct
+/// evaluators with (the Makespan kind never reads the metric, so any valid
+/// tau will do).
+double evaluatorTau(const EtcObjective& objective) {
+  if (objective.kind == EtcObjective::Kind::Makespan) {
+    return std::max(1.0, objective.tau);
+  }
+  ROBUST_REQUIRE(objective.tau >= 1.0, "EtcObjective: tau must be >= 1");
+  if (objective.kind == EtcObjective::Kind::CappedRobustness) {
+    ROBUST_REQUIRE(objective.makespanCap > 0.0,
+                   "EtcObjective: cap must be positive");
+  }
+  return objective.tau;
+}
+
 }  // namespace
+
+EtcObjective EtcObjective::makespan() { return {Kind::Makespan, 1.2, 0.0}; }
+
+EtcObjective EtcObjective::negatedRobustness(double tau) {
+  return {Kind::NegatedRobustness, tau, 0.0};
+}
+
+EtcObjective EtcObjective::cappedRobustness(double tau, double makespanCap) {
+  return {Kind::CappedRobustness, tau, makespanCap};
+}
+
+double EtcObjective::score(double makespanValue, double robustness) const {
+  switch (kind) {
+    case Kind::Makespan:
+      return makespanValue;
+    case Kind::NegatedRobustness:
+      return -robustness;
+    case Kind::CappedRobustness:
+      if (makespanValue > makespanCap) {
+        return makespanValue - makespanCap;  // infeasible: positive
+      }
+      return -robustness;  // feasible: negative
+  }
+  return 0.0;  // unreachable
+}
+
+MappingObjective EtcObjective::generic(const EtcMatrix& etc) const {
+  switch (kind) {
+    case Kind::Makespan:
+      return makespanObjective(etc);
+    case Kind::NegatedRobustness:
+      return negatedRobustnessObjective(etc, tau);
+    case Kind::CappedRobustness:
+      return cappedRobustnessObjective(etc, tau, makespanCap);
+  }
+  return {};  // unreachable
+}
 
 MappingObjective makespanObjective(const EtcMatrix& etc) {
   return [&etc](const Mapping& mapping) { return makespan(etc, mapping); };
@@ -375,6 +430,95 @@ Mapping localSearch(const EtcMatrix& etc, Mapping start,
   return current;
 }
 
+Mapping localSearch(const EtcMatrix& etc, Mapping start,
+                    const EtcObjective& objective,
+                    const LocalSearchOptions& options) {
+  ROBUST_REQUIRE(options.maxRounds > 0, "localSearch: maxRounds must be > 0");
+  const double tau = evaluatorTau(objective);
+  std::size_t workers =
+      options.threads == 0 ? defaultThreadCount() : options.threads;
+  workers = std::min(workers, etc.apps());
+
+  // One evaluator per worker, all tracking the same incumbent. The scan
+  // only calls tryMove (stateless w.r.t. the incumbent), so workers share
+  // nothing; the chosen move is then committed to every evaluator.
+  std::vector<IncrementalEvaluator> evaluators;
+  evaluators.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    evaluators.emplace_back(etc, start, tau);
+  }
+  double currentValue = objective.score(evaluators[0].current().makespan,
+                                        evaluators[0].current().robustness);
+
+  struct BlockBest {
+    double value = 0.0;
+    std::size_t app = 0;
+    std::size_t machine = 0;
+    bool found = false;
+  };
+  std::vector<BlockBest> blockBests(workers);
+  const std::size_t chunk = (etc.apps() + workers - 1) / workers;
+  auto scanBlock = [&](std::size_t w) {
+    IncrementalEvaluator& evaluator = evaluators[w];
+    const std::size_t lo = w * chunk;
+    const std::size_t hi = std::min(etc.apps(), lo + chunk);
+    BlockBest best;
+    // Strict < on an ascending (app, machine) scan: the block winner is the
+    // lowest-(app, machine) minimizer, the deterministic tie-break rule.
+    double bestValue = currentValue;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t original = evaluator.mapping().machineOf(i);
+      for (std::size_t j = 0; j < etc.machines(); ++j) {
+        if (j == original) {
+          continue;
+        }
+        const EvalResult result = evaluator.tryMove(i, j);
+        const double value = objective.score(result.makespan,
+                                             result.robustness);
+        if (value < bestValue) {
+          bestValue = value;
+          best = {value, i, j, true};
+        }
+      }
+    }
+    evaluator.revert();
+    blockBests[w] = best;
+  };
+
+  std::unique_ptr<ThreadPool> pool;
+  if (workers > 1) {
+    pool = std::make_unique<ThreadPool>(workers);
+  }
+  for (int round = 0; round < options.maxRounds; ++round) {
+    if (pool) {
+      for (std::size_t w = 0; w < workers; ++w) {
+        pool->submit([&scanBlock, w] { scanBlock(w); });
+      }
+      pool->wait();
+    } else {
+      scanBlock(0);
+    }
+    // Reduce block winners in ascending block order with strict <, so the
+    // global winner is again the lowest-(app, machine) minimizer — exactly
+    // the move the serial scan picks, for any worker count.
+    BlockBest best;
+    for (const BlockBest& candidate : blockBests) {
+      if (candidate.found && (!best.found || candidate.value < best.value)) {
+        best = candidate;
+      }
+    }
+    if (!best.found) {
+      break;
+    }
+    for (IncrementalEvaluator& evaluator : evaluators) {
+      evaluator.tryMove(best.app, best.machine);
+      evaluator.commit();
+    }
+    currentValue = best.value;
+  }
+  return evaluators[0].mapping();
+}
+
 Mapping annealMapping(std::size_t apps, std::size_t machines, Mapping start,
                       const MappingObjective& objective,
                       const AnnealingOptions& options) {
@@ -428,11 +572,64 @@ Mapping simulatedAnnealing(const EtcMatrix& etc, Mapping start,
                        objective, options);
 }
 
-Mapping geneticAlgorithm(const EtcMatrix& etc, Mapping seedMapping,
-                         const MappingObjective& objective,
-                         const GeneticOptions& options) {
-  ROBUST_REQUIRE(static_cast<bool>(objective),
-                 "geneticAlgorithm: null objective");
+Mapping simulatedAnnealing(const EtcMatrix& etc, Mapping start,
+                           const EtcObjective& objective,
+                           const AnnealingOptions& options) {
+  ROBUST_REQUIRE(options.iterations > 0 && options.coolingRate > 0.0 &&
+                     options.coolingRate < 1.0,
+                 "annealMapping: invalid options");
+  const double tau = evaluatorTau(objective);
+
+  // Same stream id and draw pattern as annealMapping, so the walk visits
+  // the same proposals and returns the same mapping for the same seed.
+  Pcg32 rng(options.seed, /*stream=*/7);
+  IncrementalEvaluator evaluator(etc, std::move(start), tau);
+  double currentValue = objective.score(evaluator.current().makespan,
+                                        evaluator.current().robustness);
+  Mapping best = evaluator.mapping();
+  double bestValue = currentValue;
+
+  double temperature =
+      options.initialTemperature * std::max(1.0, std::fabs(currentValue));
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const auto app = static_cast<std::size_t>(
+        rng.nextBounded(static_cast<std::uint32_t>(etc.apps())));
+    const std::size_t original = evaluator.mapping().machineOf(app);
+    const auto machine = static_cast<std::size_t>(
+        rng.nextBounded(static_cast<std::uint32_t>(etc.machines())));
+    if (machine == original) {
+      continue;
+    }
+    const EvalResult result = evaluator.tryMove(app, machine);
+    const double value = objective.score(result.makespan, result.robustness);
+    const double delta = value - currentValue;
+    if (delta <= 0.0 ||
+        rng.nextDouble() < std::exp(-delta / std::max(temperature, 1e-12))) {
+      evaluator.commit();
+      currentValue = value;
+      if (value < bestValue) {
+        bestValue = value;
+        best = evaluator.mapping();
+      }
+    } else {
+      evaluator.revert();
+    }
+    temperature *= options.coolingRate;
+  }
+  return best;
+}
+
+namespace {
+
+/// The GA body, parameterized over how a genome is scored: the generic
+/// overload builds a Mapping and calls the closure, the EtcObjective
+/// overload scores through the reusable-buffer ScratchEvaluator. Identical
+/// RNG stream and draw pattern in both, so equal fitness functions produce
+/// equal results.
+Mapping runGeneticAlgorithm(
+    const EtcMatrix& etc, const Mapping& seedMapping,
+    const std::function<double(const std::vector<std::size_t>&)>& evaluate,
+    const GeneticOptions& options) {
   ROBUST_REQUIRE(options.populationSize >= 2 && options.generations > 0 &&
                      options.tournamentSize >= 1 && options.eliteCount >= 0 &&
                      options.eliteCount < options.populationSize,
@@ -445,10 +642,6 @@ Mapping geneticAlgorithm(const EtcMatrix& etc, Mapping seedMapping,
   struct Individual {
     std::vector<std::size_t> genes;
     double fitness;  // objective value; smaller is better
-  };
-
-  auto evaluate = [&](const std::vector<std::size_t>& genes) {
-    return objective(Mapping(genes, etc.machines()));
   };
 
   std::vector<Individual> population;
@@ -513,6 +706,34 @@ Mapping geneticAlgorithm(const EtcMatrix& etc, Mapping seedMapping,
   const auto best = std::min_element(population.begin(), population.end(),
                                      byFitness);
   return Mapping(best->genes, etc.machines());
+}
+
+}  // namespace
+
+Mapping geneticAlgorithm(const EtcMatrix& etc, Mapping seedMapping,
+                         const MappingObjective& objective,
+                         const GeneticOptions& options) {
+  ROBUST_REQUIRE(static_cast<bool>(objective),
+                 "geneticAlgorithm: null objective");
+  return runGeneticAlgorithm(
+      etc, seedMapping,
+      [&](const std::vector<std::size_t>& genes) {
+        return objective(Mapping(genes, etc.machines()));
+      },
+      options);
+}
+
+Mapping geneticAlgorithm(const EtcMatrix& etc, Mapping seedMapping,
+                         const EtcObjective& objective,
+                         const GeneticOptions& options) {
+  ScratchEvaluator scratch(etc, evaluatorTau(objective));
+  return runGeneticAlgorithm(
+      etc, seedMapping,
+      [&](const std::vector<std::size_t>& genes) {
+        const EvalResult result = scratch.evaluate(genes);
+        return objective.score(result.makespan, result.robustness);
+      },
+      options);
 }
 
 const std::vector<HeuristicEntry>& constructiveHeuristics() {

@@ -1,0 +1,339 @@
+#include "robust/scheduling/incremental.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "robust/util/error.hpp"
+
+namespace robust::sched {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The analyze() reduction over dense load/count arrays: max finishing time
+/// scanning machines in ascending order, then the strict-< minimum of the
+/// Eq. 6 radii (so ties resolve to the smallest machine index, exactly as
+/// IndependentTaskSystem::analyze does). `sqrtCount[c]` holds sqrt(c);
+/// IEEE sqrt is correctly rounded, so the table is bit-identical to
+/// computing sqrt inline as analyze() does.
+EvalResult reduceDense(std::span<const double> load,
+                       std::span<const std::size_t> count, double tau,
+                       std::span<const double> sqrtCount) {
+  EvalResult result;
+  result.makespan = load[0];
+  for (std::size_t j = 1; j < load.size(); ++j) {
+    if (load[j] > result.makespan) {
+      result.makespan = load[j];
+    }
+  }
+  const double bound = tau * result.makespan;
+  for (std::size_t j = 0; j < load.size(); ++j) {
+    if (count[j] == 0) {
+      continue;
+    }
+    const double radius = (bound - load[j]) / sqrtCount[count[j]];
+    if (radius < result.robustness) {
+      result.robustness = radius;
+      result.bindingMachine = j;
+    }
+  }
+  return result;
+}
+
+std::vector<double> sqrtTable(std::size_t apps) {
+  std::vector<double> table(apps + 1);
+  for (std::size_t c = 0; c <= apps; ++c) {
+    table[c] = std::sqrt(static_cast<double>(c));
+  }
+  return table;
+}
+
+}  // namespace
+
+// ------------------------------------------------------- ScratchEvaluator
+
+ScratchEvaluator::ScratchEvaluator(const EtcMatrix& etc, double tau)
+    : etc_(&etc), tau_(tau), sqrtCount_(sqrtTable(etc.apps())) {
+  ROBUST_REQUIRE(tau_ >= 1.0, "ScratchEvaluator: tau must be >= 1");
+}
+
+EvalResult ScratchEvaluator::evaluate(
+    std::span<const std::size_t> assignment) {
+  ROBUST_REQUIRE(assignment.size() == etc_->apps(),
+                 "ScratchEvaluator: assignment size must equal app count");
+  load_.assign(etc_->machines(), 0.0);
+  count_.assign(etc_->machines(), 0);
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    const std::size_t j = assignment[i];
+    load_[j] += (*etc_)(i, j);
+    ++count_[j];
+  }
+  return reduceDense(load_, count_, tau_, sqrtCount_);
+}
+
+// --------------------------------------------------- IncrementalEvaluator
+
+IncrementalEvaluator::IncrementalEvaluator(const EtcMatrix& etc, Mapping start,
+                                           double tau,
+                                           const IncrementalOptions& options)
+    : etc_(&etc),
+      tau_(tau),
+      options_(options),
+      mapping_(std::move(start)),
+      sqrtCount_(sqrtTable(etc.apps())) {
+  ROBUST_REQUIRE(etc_->apps() == mapping_.apps() &&
+                     etc_->machines() == mapping_.machines(),
+                 "IncrementalEvaluator: ETC and mapping dimensions disagree");
+  ROBUST_REQUIRE(tau_ >= 1.0, "IncrementalEvaluator: tau must be >= 1");
+  rebuild();
+}
+
+void IncrementalEvaluator::rebuild() {
+  const std::size_t machines = etc_->machines();
+  load_.assign(machines, 0.0);
+  count_.assign(machines, 0);
+  machineApps_.assign(machines, {});
+  const auto& assignment = mapping_.assignment();
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    const std::size_t j = assignment[i];
+    load_[j] += (*etc_)(i, j);
+    ++count_[j];
+    machineApps_[j].push_back(i);  // ascending: i increases monotonically
+  }
+  allLoads_.clear();
+  byCount_.clear();
+  if (!useDense()) {
+    for (std::size_t j = 0; j < machines; ++j) {
+      allLoads_.emplace(load_[j], j);
+      if (count_[j] > 0) {
+        byCount_[count_[j]].emplace(load_[j], j);
+      }
+    }
+  }
+  current_ = reduceDense(load_, count_, tau_, sqrtCount_);
+  pending_.active = false;
+  cachedRemovalApp_ = kNone;
+}
+
+void IncrementalEvaluator::reset(Mapping mapping) {
+  ROBUST_REQUIRE(etc_->apps() == mapping.apps() &&
+                     etc_->machines() == mapping.machines(),
+                 "IncrementalEvaluator: ETC and mapping dimensions disagree");
+  mapping_ = std::move(mapping);
+  rebuild();
+}
+
+double IncrementalEvaluator::resum(std::size_t j, std::size_t skip,
+                                   std::size_t add) const {
+  // Ascending application-index order — the finishingTimes accumulation
+  // order, which the exactness contract requires.
+  double sum = 0.0;
+  bool added = add == kNone;
+  for (const std::size_t a : machineApps_[j]) {
+    if (!added && add < a) {
+      sum += (*etc_)(add, j);
+      added = true;
+    }
+    if (a == skip) {
+      continue;
+    }
+    sum += (*etc_)(a, j);
+  }
+  if (!added) {
+    sum += (*etc_)(add, j);
+  }
+  return sum;
+}
+
+EvalResult IncrementalEvaluator::evaluateTouched(std::size_t ta, double la,
+                                                 std::size_t ca,
+                                                 std::size_t tb, double lb,
+                                                 std::size_t cb) {
+  return useDense() ? evaluateDense(ta, la, ca, tb, lb, cb)
+                    : evaluateSorted(ta, la, ca, tb, lb, cb);
+}
+
+EvalResult IncrementalEvaluator::evaluateDense(std::size_t ta, double la,
+                                               std::size_t ca, std::size_t tb,
+                                               double lb, std::size_t cb) {
+  // Write the two overrides into the committed arrays, run the plain
+  // analyze() reduction over contiguous memory, and restore. Branch-free in
+  // the hot loops, and trivially the same float operations as rebuild().
+  const double oldLa = load_[ta], oldLb = load_[tb];
+  const std::size_t oldCa = count_[ta], oldCb = count_[tb];
+  load_[ta] = la;
+  count_[ta] = ca;
+  load_[tb] = lb;
+  count_[tb] = cb;
+  const EvalResult result = reduceDense(load_, count_, tau_, sqrtCount_);
+  load_[ta] = oldLa;
+  count_[ta] = oldCa;
+  load_[tb] = oldLb;
+  count_[tb] = oldCb;
+  return result;
+}
+
+EvalResult IncrementalEvaluator::evaluateSorted(std::size_t ta, double la,
+                                                std::size_t ca,
+                                                std::size_t tb, double lb,
+                                                std::size_t cb) const {
+  // Max over untouched machines: the touched pair occupies at most two of
+  // the top three sorted entries.
+  double maxOther = -kInf;
+  {
+    auto it = allLoads_.rbegin();
+    for (int hops = 0; hops < 3 && it != allLoads_.rend(); ++hops, ++it) {
+      if (it->second != ta && it->second != tb) {
+        maxOther = it->first;
+        break;
+      }
+    }
+  }
+  EvalResult result;
+  result.makespan = std::max(maxOther, std::max(la, lb));
+  const double bound = tau_ * result.makespan;
+
+  auto consider = [&result](double radius, std::size_t machine) {
+    if (radius < result.robustness ||
+        (radius == result.robustness && machine < result.bindingMachine)) {
+      result.robustness = radius;
+      result.bindingMachine = machine;
+    }
+  };
+  // Per count group, the minimizing untouched machine is the max-load one
+  // (same n => smaller load is strictly less binding); ties on load resolve
+  // to the smallest index by the LoadOrder comparator.
+  for (const auto& [c, group] : byCount_) {
+    auto it = group.rbegin();
+    for (int hops = 0; hops < 3 && it != group.rend(); ++hops, ++it) {
+      if (it->second != ta && it->second != tb) {
+        consider((bound - it->first) / sqrtCount_[c], it->second);
+        break;
+      }
+    }
+  }
+  if (ca > 0) {
+    consider((bound - la) / sqrtCount_[ca], ta);
+  }
+  if (cb > 0) {
+    consider((bound - lb) / sqrtCount_[cb], tb);
+  }
+  return result;
+}
+
+EvalResult IncrementalEvaluator::tryMove(std::size_t app,
+                                         std::size_t machine) {
+  ROBUST_REQUIRE(app < etc_->apps(), "tryMove: app index out of range");
+  ROBUST_REQUIRE(machine < etc_->machines(),
+                 "tryMove: machine index out of range");
+  const std::size_t from = mapping_.assignment()[app];
+  if (machine == from) {
+    pending_.active = false;
+    return current_;
+  }
+  Pending& p = pending_;
+  p.active = true;
+  p.appA = p.appB = app;
+  p.machineA = p.machineB = machine;
+  p.touchedA = from;
+  if (cachedRemovalApp_ != app) {
+    cachedRemovalLoad_ = resum(from, app, kNone);
+    cachedRemovalApp_ = app;
+  }
+  p.loadA = cachedRemovalLoad_;
+  p.countA = count_[from] - 1;
+  p.touchedB = machine;
+  p.loadB = resum(machine, kNone, app);
+  p.countB = count_[machine] + 1;
+  p.result =
+      evaluateTouched(p.touchedA, p.loadA, p.countA, p.touchedB, p.loadB,
+                      p.countB);
+  return p.result;
+}
+
+EvalResult IncrementalEvaluator::trySwap(std::size_t appA, std::size_t appB) {
+  ROBUST_REQUIRE(appA < etc_->apps() && appB < etc_->apps(),
+                 "trySwap: app index out of range");
+  const std::size_t a = mapping_.assignment()[appA];
+  const std::size_t b = mapping_.assignment()[appB];
+  if (a == b) {  // includes appA == appB
+    pending_.active = false;
+    return current_;
+  }
+  Pending& p = pending_;
+  p.active = true;
+  p.appA = appA;
+  p.machineA = b;
+  p.appB = appB;
+  p.machineB = a;
+  p.touchedA = a;
+  p.loadA = resum(a, appA, appB);
+  p.countA = count_[a];
+  p.touchedB = b;
+  p.loadB = resum(b, appB, appA);
+  p.countB = count_[b];
+  p.result =
+      evaluateTouched(p.touchedA, p.loadA, p.countA, p.touchedB, p.loadB,
+                      p.countB);
+  return p.result;
+}
+
+void IncrementalEvaluator::applyMachineUpdate(std::size_t machine,
+                                              double newLoad,
+                                              std::size_t newCount) {
+  if (!useDense()) {
+    allLoads_.erase({load_[machine], machine});
+    allLoads_.emplace(newLoad, machine);
+    if (count_[machine] > 0) {
+      const auto group = byCount_.find(count_[machine]);
+      group->second.erase({load_[machine], machine});
+      if (group->second.empty()) {
+        byCount_.erase(group);
+      }
+    }
+    if (newCount > 0) {
+      byCount_[newCount].emplace(newLoad, machine);
+    }
+  }
+  load_[machine] = newLoad;
+  count_[machine] = newCount;
+}
+
+bool IncrementalEvaluator::commit() {
+  if (!pending_.active) {
+    return false;
+  }
+  const Pending& p = pending_;
+  const bool isSwap = p.appB != p.appA;
+
+  auto eraseApp = [this](std::size_t machine, std::size_t app) {
+    auto& apps = machineApps_[machine];
+    apps.erase(std::lower_bound(apps.begin(), apps.end(), app));
+  };
+  auto insertApp = [this](std::size_t machine, std::size_t app) {
+    auto& apps = machineApps_[machine];
+    apps.insert(std::lower_bound(apps.begin(), apps.end(), app), app);
+  };
+  eraseApp(p.touchedA, p.appA);
+  if (isSwap) {
+    eraseApp(p.touchedB, p.appB);
+  }
+  insertApp(p.machineA, p.appA);
+  if (isSwap) {
+    insertApp(p.machineB, p.appB);
+  }
+  mapping_.assign(p.appA, p.machineA);
+  if (isSwap) {
+    mapping_.assign(p.appB, p.machineB);
+  }
+  applyMachineUpdate(p.touchedA, p.loadA, p.countA);
+  applyMachineUpdate(p.touchedB, p.loadB, p.countB);
+  current_ = p.result;
+  pending_.active = false;
+  cachedRemovalApp_ = kNone;
+  return true;
+}
+
+}  // namespace robust::sched

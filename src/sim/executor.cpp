@@ -24,11 +24,12 @@ ExecutionResult execute(const sched::Mapping& mapping,
 
   ExecutionResult result;
   result.tasks.resize(apps);
-  result.finishTimes.assign(machines, 0.0);
-  std::vector<double> machineClock(machines, 0.0);
-  for (std::size_t j = 0; j < machines; ++j) {
-    machineClock[j] = input.machineReady.empty() ? 0.0 : input.machineReady[j];
-    result.finishTimes[j] = machineClock[j];
+  // finishTimes doubles as the per-machine clock: it always holds the time
+  // the machine becomes free, which IS its finishing time so far.
+  if (input.machineReady.empty()) {
+    result.finishTimes.assign(machines, 0.0);
+  } else {
+    result.finishTimes = input.machineReady;
   }
 
   // Applications are dispatched in index order, which on each machine is
@@ -37,9 +38,8 @@ ExecutionResult execute(const sched::Mapping& mapping,
     const std::size_t j = mapping.machineOf(i);
     const double release =
         input.releaseTimes.empty() ? 0.0 : input.releaseTimes[i];
-    const double start = std::max(machineClock[j], release);
+    const double start = std::max(result.finishTimes[j], release);
     const double finish = start + input.actualTimes[i];
-    machineClock[j] = finish;
     result.finishTimes[j] = finish;
     result.tasks[i] = TaskTrace{i, j, start, finish};
   }

@@ -3,6 +3,7 @@
 #include "robust/numeric/vector_ops.hpp"
 #include "robust/util/error.hpp"
 #include "robust/util/stats.hpp"
+#include "robust/util/thread_pool.hpp"
 
 namespace robust::sim {
 
@@ -15,34 +16,43 @@ std::vector<StudyPoint> runMakespanStudy(
   const auto estimates = system.estimatedTimes();
   const auto analysis = system.analyze();
   const double bound = system.tau() * analysis.predictedMakespan;
+  const auto trials = static_cast<std::size_t>(options.trials);
 
   std::vector<StudyPoint> points;
   points.reserve(options.magnitudes.size());
   for (std::size_t mi = 0; mi < options.magnitudes.size(); ++mi) {
-    PerturbationModel model{options.model, options.magnitudes[mi]};
-    Pcg32 rng = makeStream(options.seed, mi);
+    const PerturbationModel model{options.model, options.magnitudes[mi]};
+
+    // Each trial owns a makeStream substream and disjoint output slots, so
+    // the trial loop parallelizes with bit-identical results for any worker
+    // count; the aggregation below is a serial reduction in trial order.
+    std::vector<double> ratios(trials);
+    std::vector<double> errorNorms(trials);
+    std::vector<unsigned char> violated(trials);
+    parallelFor(
+        0, trials,
+        [&](std::size_t t) {
+          Pcg32 rng = makeStream(options.seed, mi * trials + t);
+          ExecutionInput input;
+          input.actualTimes = model.sample(estimates, rng);
+          const ExecutionResult run = execute(system.mapping(), input);
+          errorNorms[t] = num::distance2(input.actualTimes, estimates);
+          violated[t] = run.makespan > bound;
+          ratios[t] = run.makespan / analysis.predictedMakespan;
+        },
+        options.threads);
 
     StudyPoint point;
     point.magnitude = options.magnitudes[mi];
-    std::vector<double> ratios;
-    ratios.reserve(static_cast<std::size_t>(options.trials));
     double errorNormSum = 0.0;
     int violations = 0;
-    for (int t = 0; t < options.trials; ++t) {
-      ExecutionInput input;
-      input.actualTimes = model.sample(estimates, rng);
-      const ExecutionResult run = execute(system.mapping(), input);
-
-      const double errorNorm =
-          num::distance2(input.actualTimes, estimates);
-      errorNormSum += errorNorm;
-      const bool violated = run.makespan > bound;
-      violations += violated;
-      if (errorNorm <= analysis.robustness) {
+    for (std::size_t t = 0; t < trials; ++t) {
+      errorNormSum += errorNorms[t];
+      violations += violated[t];
+      if (errorNorms[t] <= analysis.robustness) {
         ++point.coveredTrials;
-        point.coveredViolations += violated;  // guarantee: must stay 0
+        point.coveredViolations += violated[t];  // guarantee: must stay 0
       }
-      ratios.push_back(run.makespan / analysis.predictedMakespan);
     }
     point.meanErrorNorm =
         analysis.robustness > 0.0

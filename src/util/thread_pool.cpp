@@ -1,12 +1,27 @@
 #include "robust/util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace robust {
 
+std::size_t defaultThreadCount() noexcept {
+  static const std::size_t cached = [] {
+    if (const char* env = std::getenv("ROBUST_THREADS")) {
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(env, &end, 10);
+      if (end != env && *end == '\0' && parsed > 0 && parsed <= 1024) {
+        return static_cast<std::size_t>(parsed);
+      }
+    }
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }();
+  return cached;
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    threads = defaultThreadCount();
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
@@ -68,9 +83,7 @@ void parallelFor(std::size_t begin, std::size_t end,
     return;
   }
   const std::size_t n = end - begin;
-  std::size_t workers =
-      threads != 0 ? threads
-                   : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::size_t workers = threads != 0 ? threads : defaultThreadCount();
   workers = std::min(workers, n);
   if (workers <= 1) {
     for (std::size_t i = begin; i < end; ++i) {

@@ -209,6 +209,35 @@ TEST(Study, DeterministicInSeed) {
   EXPECT_DOUBLE_EQ(a[0].meanMakespanRatio, b[0].meanMakespanRatio);
 }
 
+TEST(Study, ParallelTrialsMatchSerialExactly) {
+  Pcg32 rng(21);
+  sched::EtcOptions etcOptions;
+  const auto etc = sched::generateEtc(etcOptions, rng);
+  const sched::IndependentTaskSystem system(
+      etc, sched::roundRobinMapping(etc), 1.2);
+  StudyOptions serial;
+  serial.trials = 300;
+  serial.magnitudes = {0.02, 0.1, 0.4};
+  serial.threads = 1;
+  const auto reference = runMakespanStudy(system, serial);
+  for (const std::size_t threads : {2u, 5u, 32u}) {
+    StudyOptions parallel = serial;
+    parallel.threads = threads;
+    const auto points = runMakespanStudy(system, parallel);
+    ASSERT_EQ(points.size(), reference.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      // Bit-identical, not merely close: per-trial substreams plus a serial
+      // reduction make the worker count invisible to the output.
+      EXPECT_EQ(points[i].meanErrorNorm, reference[i].meanErrorNorm);
+      EXPECT_EQ(points[i].violationRate, reference[i].violationRate);
+      EXPECT_EQ(points[i].meanMakespanRatio, reference[i].meanMakespanRatio);
+      EXPECT_EQ(points[i].p95MakespanRatio, reference[i].p95MakespanRatio);
+      EXPECT_EQ(points[i].coveredTrials, reference[i].coveredTrials);
+      EXPECT_EQ(points[i].coveredViolations, reference[i].coveredViolations);
+    }
+  }
+}
+
 TEST(Study, Validation) {
   Pcg32 rng(14);
   sched::EtcOptions etcOptions;
