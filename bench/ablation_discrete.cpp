@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     core::DiscreteOptions dopts;
     dopts.exhaustiveLimit = 0.0;  // radii are in the hundreds: certificate
                                   // search only (exhaustive would be huge)
-    const auto bounds = core::discreteRadiusBounds(analyzer, dopts);
+    const auto bounds = core::discreteRadiusBounds(analyzer.compiled(), dopts);
     const double floorRule = std::floor(bounds.lower);
     const double gap = bounds.upper - floorRule;
     gaps.push_back(gap);

@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
       core::AnalyzerOptions options;
       options.norm = norm;
       rhos[static_cast<std::size_t>(n++)].push_back(
-          system.toAnalyzer(options).analyze().metric);
+          system.compile(options).evaluate().metric);
     }
   }
 

@@ -4,7 +4,11 @@
 // (absolute numbers are machine-specific; relative costs are the signal).
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "robust/core/analyzer.hpp"
+#include "robust/core/compiled.hpp"
+#include "robust/hiperd/compiled_scenario.hpp"
 #include "robust/hiperd/experiment.hpp"
 #include "robust/numeric/optimize.hpp"
 #include "robust/scheduling/experiment.hpp"
@@ -210,6 +214,78 @@ void BM_HiperdAnalysis(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HiperdAnalysis);
+
+// --- compile-once analysis engine: legacy per-call derivation vs the
+// compiled path. "Legacy" is what per-mapping re-analysis cost before the
+// compiled engine: rebuild the feature list (or the whole analyzer) and
+// analyze. "CompiledReanalyze" amortizes every mapping-independent step and
+// reuses a caller-owned workspace. The >= 5x HiPer-D target of the compiled
+// engine is measured by BM_LegacyAnalyzeHiperd / BM_CompiledReanalyzeHiperd.
+void BM_LegacyAnalyzeEtc(benchmark::State& state) {
+  const auto etc = benchEtc();
+  Pcg32 rng(2);
+  const auto mapping = sched::randomMapping(etc.apps(), etc.machines(), rng);
+  const sched::IndependentTaskSystem system(etc, mapping, 1.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.toAnalyzer().analyze());
+  }
+}
+BENCHMARK(BM_LegacyAnalyzeEtc);
+
+void BM_CompiledReanalyzeEtc(benchmark::State& state) {
+  const auto etc = benchEtc();
+  Pcg32 rng(2);
+  const auto mapping = sched::randomMapping(etc.apps(), etc.machines(), rng);
+  const sched::IndependentTaskSystem system(etc, mapping, 1.2);
+  const auto compiled = system.compile();
+  core::EvalWorkspace workspace;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compiled.evaluate(core::AnalysisInstance{}, workspace));
+  }
+}
+BENCHMARK(BM_CompiledReanalyzeEtc);
+
+std::vector<sched::Mapping> benchHiperdMappings(
+    const hiperd::HiperdScenario& scenario, std::size_t count) {
+  Pcg32 rng(4);
+  std::vector<sched::Mapping> mappings;
+  mappings.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    mappings.push_back(sched::randomMapping(
+        scenario.graph.applicationCount(), scenario.machines, rng));
+  }
+  return mappings;
+}
+
+void BM_LegacyAnalyzeHiperd(benchmark::State& state) {
+  const auto generated =
+      hiperd::generateScenario(hiperd::ScenarioOptions{}, 2003);
+  const auto mappings = benchHiperdMappings(generated.scenario, 64);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hiperd::HiperdSystem(generated.scenario, mappings[i])
+            .toAnalyzer()
+            .analyze());
+    i = (i + 1) % mappings.size();
+  }
+}
+BENCHMARK(BM_LegacyAnalyzeHiperd);
+
+void BM_CompiledReanalyzeHiperd(benchmark::State& state) {
+  const auto generated =
+      hiperd::generateScenario(hiperd::ScenarioOptions{}, 2003);
+  const auto mappings = benchHiperdMappings(generated.scenario, 64);
+  const hiperd::CompiledScenario compiled = generated.scenario.compile();
+  hiperd::ScenarioWorkspace workspace;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled.analyze(mappings[i], workspace));
+    i = (i + 1) % mappings.size();
+  }
+}
+BENCHMARK(BM_CompiledReanalyzeHiperd);
 
 void BM_HiperdSlack(benchmark::State& state) {
   const auto generated =

@@ -71,9 +71,11 @@ int main() {
     const auto analyzer = build(options);
     const auto report = analyzer.analyze();
     const auto& binding = report.radii[report.bindingFeature];
-    std::string lambdaStar = "(" + formatDouble(binding.boundaryPoint[0]) +
-                             ", " + formatDouble(binding.boundaryPoint[1]) +
-                             ")";
+    std::string lambdaStar = "(";
+    lambdaStar += formatDouble(binding.boundaryPoint[0]);
+    lambdaStar += ", ";
+    lambdaStar += formatDouble(binding.boundaryPoint[1]);
+    lambdaStar += ")";
     const char* name = solver == core::SolverKind::Auto
                            ? "auto (analytic/KKT)"
                            : (solver == core::SolverKind::RaySearch
@@ -108,5 +110,38 @@ int main() {
             << validation.samplesInside << " violations inside rho, "
             << validation.violationsAtBoundary << "/"
             << validation.samplesAtBoundary << " just beyond rho\n";
+
+  // Operational what-if sweep via the compile-once engine: compile the
+  // derivation once, then re-evaluate rho at shifted operating points from
+  // one reusable workspace (bit-identical to rebuilding the analyzer at
+  // each origin, without the rebuild).
+  const auto compiled =
+      core::FepiaBuilder("same derivation, compiled")
+          .perturbation("lambda (request rates)", {50.0, 30.0},
+                        /*discrete=*/false, "requests per second")
+          .affineFeature("T_frontend", {0.2, 0.3}, 0.0,
+                         core::ToleranceBounds::atMost(40.0))
+          .feature("T_database",
+                   core::ImpactFunction::callable(dbTime, dbGradient),
+                   core::ToleranceBounds::atMost(60.0))
+          .feature("T_end_to_end", core::ImpactFunction::callable(e2eTime),
+                   core::ToleranceBounds::atMost(85.0))
+          .compile();
+  std::cout << "\nrho at shifted operating points (compiled engine):\n";
+  TablePrinter sweep({"lambda_orig", "rho"});
+  core::EvalWorkspace workspace;
+  for (const double shift : {0.0, 10.0, 20.0, 30.0}) {
+    const num::Vec origin = {50.0 + shift, 30.0 + shift};
+    core::AnalysisInstance query;
+    query.origin = origin;
+    const auto& shifted = compiled.evaluate(query, workspace);
+    std::string point = "(";
+    point += formatDouble(origin[0]);
+    point += ", ";
+    point += formatDouble(origin[1]);
+    point += ")";
+    sweep.addRow({std::move(point), formatDouble(shifted.metric, 6)});
+  }
+  sweep.print(std::cout);
   return 0;
 }

@@ -59,6 +59,12 @@ int main() {
             << " (binding feature: "
             << report.radii[report.bindingFeature].feature << ")\n";
 
+  // And through the compile-once engine (what repeated analysis should use;
+  // reports are bit-identical to the analyzer's).
+  const auto compiled = system.compile();
+  std::cout << "compiled engine metric        = "
+            << compiled.evaluate().metric << " (identical by construction)\n";
+
   // Empirical check of the guarantee: sample ETC error vectors inside the
   // radius (expect zero violations) and just beyond it (expect some).
   const auto validation = core::validateRadius(analyzer, report.metric);

@@ -1,66 +1,26 @@
 // The analysis step (step 4) of FePIA: robustness radii (Eq. 1) and the
 // robustness metric (Eq. 2).
+//
+// RobustnessAnalyzer is now a thin adapter over the compiled engine
+// (robust/core/compiled.hpp): construction compiles the derivation once and
+// every query delegates to the CompiledProblem, so legacy call sites keep
+// their API while sharing one arithmetic path with the batch engine. New
+// code that re-analyzes many states against one structure should hold a
+// CompiledProblem directly (via compiled() or CompiledProblem::compile).
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "robust/core/compiled.hpp"
 #include "robust/core/feature.hpp"
+#include "robust/core/report.hpp"
 #include "robust/numeric/optimize.hpp"
 
 namespace robust::core {
-
-/// Which norm measures the perturbation displacement in Eq. 1. The paper
-/// fixes L2 (Euclidean); L1 and LInf are provided for the norm ablation,
-/// and Weighted is the scaled Euclidean norm sqrt(sum w_i d_i^2) — the
-/// natural choice when the perturbation components have different scales
-/// (e.g. sensor loads of 962 vs 240 objects per data set).
-enum class NormKind { L1, L2, LInf, Weighted };
-
-/// Human-readable norm name ("l1", "l2", "linf", "weighted").
-[[nodiscard]] std::string toString(NormKind norm);
-
-/// Strategy for computing a radius.
-enum class SolverKind {
-  Auto,        ///< analytic for affine impacts, KKT-Newton (with ray-search
-               ///< fallback) otherwise
-  Analytic,    ///< point-to-hyperplane closed form; affine impacts only
-  KktNewton,   ///< damped Newton on the KKT system (L2 only)
-  RaySearch,   ///< gradient-alignment ray iteration (L2 only)
-  MonteCarlo,  ///< random-direction upper bound (any norm)
-};
-
-/// Options controlling the analysis.
-struct AnalyzerOptions {
-  NormKind norm = NormKind::L2;
-  /// Per-component weights for NormKind::Weighted (must be positive and
-  /// match the perturbation dimension). A common choice is
-  /// w_i = 1 / pi_orig_i^2, which measures RELATIVE displacement.
-  num::Vec normWeights;
-  SolverKind solver = SolverKind::Auto;
-  num::SolverOptions solverOptions;
-};
-
-/// Radius of one feature against the perturbation parameter: Eq. 1 plus the
-/// diagnostics a practitioner wants (which bound bound it, where).
-struct RadiusReport {
-  std::string feature;       ///< feature name
-  double radius = 0.0;       ///< r_mu(phi_i, pi_j)
-  num::Vec boundaryPoint;    ///< pi_star(phi_i) of Fig. 1
-  double boundaryLevel = 0.0;///< the beta value of the binding boundary
-  bool boundReachable = true;///< false when no boundary crossing exists
-                             ///< within the search limit (radius = +inf)
-  std::string method;        ///< solver that produced the number
-};
-
-/// Full analysis: every radius plus the metric rho (Eq. 2).
-struct RobustnessReport {
-  std::vector<RadiusReport> radii;      ///< one per feature, input order
-  double metric = 0.0;                  ///< rho_mu(Phi, pi_j)
-  std::size_t bindingFeature = 0;       ///< argmin index into radii
-  bool floored = false;                 ///< metric was floored (discrete pi)
-};
 
 /// Evaluates robustness radii and the robustness metric of a mapping whose
 /// features and perturbation parameter have already been derived (steps 1-3).
@@ -73,39 +33,44 @@ class RobustnessAnalyzer {
   /// dimensions must match the parameter dimension.
   RobustnessAnalyzer(std::vector<PerformanceFeature> features,
                      PerturbationParameter parameter,
-                     AnalyzerOptions options = {});
+                     AnalyzerOptions options = {})
+      : compiled_(CompiledProblem::compile(ProblemSpec{
+            std::move(features), std::move(parameter), std::move(options)})) {}
 
   /// Number of features.
   [[nodiscard]] std::size_t featureCount() const noexcept {
-    return features_.size();
+    return compiled_.featureCount();
   }
 
   /// The features, in construction order.
-  [[nodiscard]] const std::vector<PerformanceFeature>& features() const noexcept {
-    return features_;
+  [[nodiscard]] const std::vector<PerformanceFeature>& features()
+      const noexcept {
+    return compiled_.features();
   }
 
   /// The perturbation parameter.
   [[nodiscard]] const PerturbationParameter& parameter() const noexcept {
-    return parameter_;
+    return compiled_.parameter();
   }
 
   /// Robustness radius of feature `index` (Eq. 1). The radius is the minimum
   /// over the feature's present bounds; a feature already outside its bounds
   /// at pi_orig yields radius 0.
-  [[nodiscard]] RadiusReport radiusOf(std::size_t index) const;
+  [[nodiscard]] RadiusReport radiusOf(std::size_t index) const {
+    return compiled_.radiusOf(index);
+  }
 
   /// Full analysis: all radii and rho = min radius (Eq. 2), floored when the
   /// parameter is discrete (Section 3.2's "objects per data set" rule).
-  [[nodiscard]] RobustnessReport analyze() const;
+  [[nodiscard]] RobustnessReport analyze() const { return compiled_.evaluate(); }
+
+  /// The underlying compiled problem, for repeated / batched evaluation.
+  [[nodiscard]] const CompiledProblem& compiled() const noexcept {
+    return compiled_;
+  }
 
  private:
-  [[nodiscard]] RadiusReport radiusAgainstLevel(const PerformanceFeature& f,
-                                                double level) const;
-
-  std::vector<PerformanceFeature> features_;
-  PerturbationParameter parameter_;
-  AnalyzerOptions options_;
+  CompiledProblem compiled_;
 };
 
 /// Multi-parameter extension (discussed in ref [1], the author's thesis):

@@ -1,0 +1,190 @@
+// The compiled FePIA analysis engine: compile the problem structure once,
+// evaluate many per-query states against it.
+//
+// The paper's experiments (and any heuristic mapping search) evaluate the
+// metric for thousands of mappings against ONE fixed scenario. The legacy
+// RobustnessAnalyzer pays the full derivation cost per mapping: feature-name
+// strings, optional-wrapped affine payloads and type-erased closures are
+// re-allocated on every construction. The engine splits that work in two:
+//
+//   Phase 1 — CompiledProblem::compile(ProblemSpec): validate once and pack
+//   the immutable structure. Affine feature rows land in one dense
+//   row-major weight matrix, the dual norm of every row is precomputed for
+//   each NormKind, bounds and constants become flat arrays, and the opaque
+//   callable features are kept in a separate indexed lane for the iterative
+//   solvers. The solver/norm configuration is baked in.
+//
+//   Phase 2 — CompiledProblem::evaluate(AnalysisInstance, EvalWorkspace):
+//   per-query state only (perturbation origin, per-feature constants, an
+//   optional per-feature weight scale such as HiPer-D's multitasking
+//   factor). Results are written into a caller-owned reusable workspace; the
+//   steady state performs no heap allocation on the affine fast path. The
+//   produced RobustnessReport is bit-identical to what
+//   RobustnessAnalyzer::analyze() returns for the equivalent derivation.
+//
+// analyzeBatch() fans a span of instances across util::thread_pool with a
+// static block partition: results are bit-identical for every thread count.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "robust/core/feature.hpp"
+#include "robust/core/report.hpp"
+
+namespace robust::core {
+
+/// Phase-1 input: the complete FePIA derivation (steps 1-3) plus the
+/// analysis configuration. The parameter's origin doubles as the default
+/// evaluation origin for instances that do not override it.
+struct ProblemSpec {
+  std::vector<PerformanceFeature> features;
+  PerturbationParameter parameter;
+  AnalyzerOptions options;
+};
+
+/// Phase-2 input: the per-query state overlaying a CompiledProblem. All
+/// spans may be empty, meaning "use the compiled defaults". Entries of
+/// `constants` and `scales` are indexed by feature and apply to affine
+/// features only (callable features carry their state inside the closure);
+/// scales must be positive.
+struct AnalysisInstance {
+  std::span<const double> origin;     ///< perturbation origin (empty = spec's)
+  std::span<const double> constants;  ///< affine constant override per feature
+  std::span<const double> scales;     ///< affine weight scale per feature
+};
+
+/// Caller-owned scratch state for repeated evaluation. Reusing one
+/// workspace across evaluations retains every buffer (report radii,
+/// boundary points, name/method strings, the scaled-weights row), so the
+/// affine fast path settles into a zero-allocation steady state.
+class EvalWorkspace {
+ public:
+  EvalWorkspace() = default;
+
+ private:
+  friend class CompiledProblem;
+  RobustnessReport report_;
+  num::Vec scaledRow_;
+};
+
+/// One affine performance feature expressed as raw spans: the input to
+/// evaluateAffineRadius() for derivation layers (e.g. HiPer-D's compiled
+/// scenario) that materialize per-query weight rows into their own
+/// workspaces. At least one bound must be present.
+struct AffineFeatureView {
+  std::span<const double> weights;
+  double constant = 0.0;
+  std::optional<double> boundMin;
+  std::optional<double> boundMax;
+};
+
+/// The exact analytic-path arithmetic of the analyzer for one affine
+/// feature: at-origin violation check, Eq. 6 dual-norm radius per present
+/// bound, binding-bound selection, nearest boundary point. Writes into
+/// `out`, reusing its buffers; `name` is copied into out.feature.
+/// `dualNormHint`, when positive, must equal the dual norm of the weights
+/// under options.norm (pass a precomputed value to skip recomputation).
+void evaluateAffineRadius(const AffineFeatureView& feature,
+                          std::span<const double> origin,
+                          const AnalyzerOptions& options,
+                          std::string_view name, RadiusReport& out,
+                          double dualNormHint = 0.0);
+
+/// Phase 1 + phase 2 of the engine. Immutable once compiled; evaluate() is
+/// const and reentrant, so one compiled problem may serve many threads as
+/// long as each uses its own workspace.
+class CompiledProblem {
+ public:
+  /// Validates the derivation (dimensions, bounds, norm weights) and packs
+  /// it. Throws InvalidArgumentError exactly where the legacy analyzer
+  /// constructor did.
+  [[nodiscard]] static CompiledProblem compile(ProblemSpec spec);
+
+  [[nodiscard]] std::size_t featureCount() const noexcept {
+    return features_.size();
+  }
+  /// Perturbation dimension (size of every origin).
+  [[nodiscard]] std::size_t dimension() const noexcept { return dim_; }
+  [[nodiscard]] const std::vector<PerformanceFeature>& features()
+      const noexcept {
+    return features_;
+  }
+  [[nodiscard]] const PerturbationParameter& parameter() const noexcept {
+    return parameter_;
+  }
+  [[nodiscard]] const AnalyzerOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Precomputed dual norm of an affine feature's weight row under `norm`
+  /// (NaN for callable features, and for NormKind::Weighted when the
+  /// compiled options carry no norm weights).
+  [[nodiscard]] double rowDualNorm(std::size_t feature, NormKind norm) const;
+
+  /// Evaluates one instance into `workspace` and returns a reference to the
+  /// workspace-owned report (valid until the next evaluation through the
+  /// same workspace).
+  const RobustnessReport& evaluate(const AnalysisInstance& instance,
+                                   EvalWorkspace& workspace) const;
+
+  /// Convenience: evaluates with a throwaway workspace.
+  [[nodiscard]] RobustnessReport evaluate(
+      const AnalysisInstance& instance) const;
+
+  /// Convenience: evaluates the compiled defaults (the spec's origin and
+  /// constants) — the exact equivalent of RobustnessAnalyzer::analyze().
+  [[nodiscard]] RobustnessReport evaluate() const;
+
+  /// Robustness radius of feature `index` at the compiled defaults (Eq. 1).
+  [[nodiscard]] RadiusReport radiusOf(std::size_t index) const;
+
+  /// Evaluates every instance into its own output slot. Work is divided
+  /// into one contiguous block per worker (threads = 0 means
+  /// defaultThreadCount()); each block reuses a dedicated workspace, and
+  /// results are bit-identical for every thread count.
+  void analyzeBatch(std::span<const AnalysisInstance> instances,
+                    std::span<RobustnessReport> out,
+                    std::size_t threads = 0) const;
+
+  /// analyzeBatch into a freshly allocated result vector.
+  [[nodiscard]] std::vector<RobustnessReport> analyzeBatch(
+      std::span<const AnalysisInstance> instances,
+      std::size_t threads = 0) const;
+
+ private:
+  CompiledProblem() = default;
+
+  void radiusOfInto(std::size_t index, std::span<const double> origin,
+                    double constant, double scale, RadiusReport& out,
+                    EvalWorkspace& workspace) const;
+  void radiusSlowPath(std::size_t index, std::span<const double> origin,
+                      double constant, double scale,
+                      std::span<const double> weights, SolverKind solver,
+                      RadiusReport& out) const;
+
+  [[nodiscard]] std::span<const double> rowOf(std::size_t feature) const {
+    return {weights_.data() + rowIndex_[feature] * dim_, dim_};
+  }
+
+  std::vector<PerformanceFeature> features_;  ///< retained for introspection
+  PerturbationParameter parameter_;
+  AnalyzerOptions options_;
+
+  std::size_t dim_ = 0;
+  static constexpr std::size_t kNoRow = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> rowIndex_;  ///< affine row per feature, kNoRow
+                                       ///< for the callable lane
+  std::vector<double> weights_;        ///< row-major [affine rows x dim_]
+  std::vector<double> constants_;      ///< per feature (0 for callables)
+  /// Per affine row, the dual norm under each NormKind (indexed by the enum
+  /// value; the Weighted entry is NaN without compiled norm weights).
+  std::vector<double> dualNorms_[4];
+  std::vector<std::size_t> callables_;  ///< feature indices, input order
+};
+
+}  // namespace robust::core

@@ -46,10 +46,14 @@ struct DiscreteOptions {
   std::size_t maxPoints = 4000000;
 };
 
-/// Computes certified discrete-radius bounds for an analyzer whose
+/// Computes certified discrete-radius bounds for a compiled problem whose
 /// perturbation parameter is integer-valued (parameter().discrete). The
 /// origin must itself be a lattice point. Throws InvalidArgumentError on a
 /// non-discrete parameter or non-integer origin.
+[[nodiscard]] DiscreteRadiusBounds discreteRadiusBounds(
+    const CompiledProblem& problem, const DiscreteOptions& options = {});
+
+/// Legacy-adapter overload: forwards to the analyzer's compiled problem.
 [[nodiscard]] DiscreteRadiusBounds discreteRadiusBounds(
     const RobustnessAnalyzer& analyzer, const DiscreteOptions& options = {});
 

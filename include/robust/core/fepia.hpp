@@ -49,6 +49,15 @@ class FepiaBuilder {
   /// analyzer. Throws InvalidArgumentError when steps are missing.
   [[nodiscard]] RobustnessAnalyzer build();
 
+  /// Step 4, structure only: releases the accumulated derivation as a
+  /// ProblemSpec (for CompiledProblem::compile or deferred analysis).
+  /// Single-shot, shared with build()/compile().
+  [[nodiscard]] ProblemSpec spec();
+
+  /// Step 4, compiled: validates and compiles the derivation for repeated /
+  /// batched evaluation. Single-shot, shared with build()/spec().
+  [[nodiscard]] CompiledProblem compile();
+
  private:
   std::string requirement_;
   std::vector<PerformanceFeature> features_;

@@ -1,0 +1,126 @@
+// The compiled HiPer-D analysis: one scenario, many mappings.
+//
+// The Section 3.2 derivation is mapping-dependent in only three ways: the
+// multitasking factor scaling each computation time, WHICH compute row an
+// application contributes (its assigned machine), and the per-path latency
+// weights assembled from those rows. Everything else — the feature names,
+// the throughput bounds 1/R(a_i), the communication features (which do not
+// depend on the mapping at all), the latency limits, and the perturbation
+// parameter — is fixed by the scenario.
+//
+// CompiledScenario performs all scenario-fixed work once:
+//   * validates the scenario and the analysis options,
+//   * precomputes the throughput bounds and every feature name,
+//   * fully pre-solves the communication (Tn) radius reports, and
+//   * records which compute/comm functions are zero or non-linear.
+// analyze(mapping, workspace) then materializes only the mapping-dependent
+// weight rows into a caller-owned workspace and runs the shared core kernel
+// (core::evaluateAffineRadius), producing a RobustnessReport bit-identical
+// to HiperdSystem(scenario, mapping).toAnalyzer(options).analyze().
+//
+// The all-affine fast path applies when every compute and comm function is
+// linear and the solver is Auto or Analytic (the generated scenarios and the
+// paper's Table 2 are all-linear). Otherwise analyze() transparently falls
+// back to the legacy derivation, so results are identical either way.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "robust/core/compiled.hpp"
+#include "robust/core/report.hpp"
+#include "robust/hiperd/system.hpp"
+#include "robust/scheduling/mapping.hpp"
+
+namespace robust::hiperd {
+
+/// Caller-owned scratch state for repeated per-mapping analysis. Reusing one
+/// workspace keeps every buffer (report radii with their strings and
+/// boundary points, machine counts, factors, the assembled weight row), so
+/// steady-state re-analysis performs no heap allocation on the fast path.
+class ScenarioWorkspace {
+ public:
+  ScenarioWorkspace() = default;
+
+ private:
+  friend class CompiledScenario;
+  core::RobustnessReport report_;
+  std::vector<std::size_t> counts_;  ///< apps per machine
+  std::vector<double> factors_;      ///< multitask factor per app
+  num::Vec row_;                     ///< assembled feature weights
+};
+
+/// Phase 1 of the HiPer-D analysis: everything derivable from the scenario
+/// alone. Immutable once built; analyze() is const and reentrant, so one
+/// compiled scenario serves many threads as long as each uses its own
+/// workspace. The scenario must outlive this object.
+class CompiledScenario {
+ public:
+  explicit CompiledScenario(const HiperdScenario& scenario,
+                            core::AnalyzerOptions options = {});
+
+  [[nodiscard]] const HiperdScenario& scenario() const noexcept {
+    return *scenario_;
+  }
+  [[nodiscard]] const core::AnalyzerOptions& options() const noexcept {
+    return options_;
+  }
+  /// The perturbation parameter (lambda, discrete) shared by every mapping.
+  [[nodiscard]] const core::PerturbationParameter& parameter() const noexcept {
+    return parameter_;
+  }
+  /// True when every load function is linear and the solver is analytic, so
+  /// analyze() runs the allocation-free kernel path. Otherwise analyze()
+  /// falls back to the legacy derivation (identical results, legacy cost).
+  [[nodiscard]] bool fastPath() const noexcept { return fast_; }
+  /// 1/R(a_i), the scenario-fixed throughput bound of `app`.
+  [[nodiscard]] double throughputBound(std::size_t app) const;
+
+  /// Phase 2: full robustness analysis of one mapping (Eq. 11, floored).
+  /// Returns a reference to the workspace-owned report (valid until the next
+  /// analyze through the same workspace). Bit-identical to
+  /// HiperdSystem(scenario, mapping).toAnalyzer(options).analyze().
+  const core::RobustnessReport& analyze(const sched::Mapping& mapping,
+                                        ScenarioWorkspace& workspace) const;
+
+  /// Convenience: analyze with a throwaway workspace.
+  [[nodiscard]] core::RobustnessReport analyze(
+      const sched::Mapping& mapping) const;
+
+  /// Analyzes every mapping with a static block partition over
+  /// util::thread_pool (threads = 0 means defaultThreadCount()); each block
+  /// reuses a dedicated workspace and results are bit-identical for every
+  /// thread count.
+  [[nodiscard]] std::vector<core::RobustnessReport> analyzeMappings(
+      std::span<const sched::Mapping> mappings, std::size_t threads = 0) const;
+
+ private:
+  [[nodiscard]] const num::Vec& computeCoeffs(std::size_t app,
+                                              std::size_t machine) const;
+
+  const HiperdScenario* scenario_ = nullptr;
+  core::AnalyzerOptions options_;
+  core::PerturbationParameter parameter_;
+  bool fast_ = false;
+  std::size_t sensors_ = 0;
+  std::vector<double> throughputBound_;  ///< per app, 1/R(a_i)
+
+  /// Computation (Tc) lane: applications with a finite throughput bound, in
+  /// ascending order, with their interned feature names and a per-(app,
+  /// machine) zero flag (a zero compute function contributes no feature).
+  std::vector<std::size_t> tcApps_;
+  std::vector<std::string> tcNames_;   ///< parallel to tcApps_
+  std::vector<char> computeZero_;      ///< [app * machines + machine]
+  std::vector<char> commZero_;         ///< [edge id]
+
+  /// Communication (Tn) lane: fully mapping-independent, so the complete
+  /// radius reports are pre-solved at compile time and copied per mapping.
+  std::vector<core::RadiusReport> tnReports_;
+
+  /// Latency (L) lane: interned names, one per path.
+  std::vector<std::string> latencyNames_;
+};
+
+}  // namespace robust::hiperd

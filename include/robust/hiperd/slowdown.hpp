@@ -27,10 +27,15 @@
 
 namespace robust::hiperd {
 
-/// Builds the FePIA analyzer for the machine-slowdown derivation of the
-/// given bound system (scenario + mapping). The perturbation parameter is
+/// The machine-slowdown FePIA derivation of the given bound system
+/// (scenario + mapping) as a ProblemSpec. The perturbation parameter is
 /// continuous with origin (1, ..., 1); features whose value does not depend
 /// on any machine speed (e.g. pure-communication paths) are omitted.
+[[nodiscard]] core::ProblemSpec slowdownSpec(
+    const HiperdSystem& system, core::AnalyzerOptions options = {});
+
+/// Builds the FePIA analyzer for the machine-slowdown derivation (the
+/// compiled form of slowdownSpec behind the legacy adapter API).
 [[nodiscard]] core::RobustnessAnalyzer slowdownAnalyzer(
     const HiperdSystem& system, core::AnalyzerOptions options = {});
 

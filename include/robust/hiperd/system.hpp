@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,8 @@
 #include "robust/scheduling/mapping.hpp"
 
 namespace robust::hiperd {
+
+class CompiledScenario;
 
 /// A complete problem instance: the DAG, machines, loads, limits, and
 /// load-dependent time functions. Mappings vary; the scenario is fixed.
@@ -32,6 +35,12 @@ struct HiperdScenario {
   /// Communication time per edge (sensor edges carry no cost in the model
   /// but slots exist for uniform indexing).
   std::vector<LoadFunction> comm;                  ///< [edge id]
+
+  /// Compiles the mapping-independent part of the Section 3.2 derivation for
+  /// repeated per-mapping analysis (robust/hiperd/compiled_scenario.hpp).
+  /// The scenario must outlive the returned object.
+  [[nodiscard]] CompiledScenario compile(
+      core::AnalyzerOptions options = {}) const;
 };
 
 /// Validates cross-field consistency of a scenario (dimensions, counts).
@@ -48,8 +57,14 @@ struct ConstraintStatus {
   double value = 0.0;     ///< attribute value at lambda_orig
   double limit = 0.0;     ///< maximum allowed value
   /// Fractional utilization value/limit; percentage slack is 1 - fraction.
+  /// A positive value against a non-positive limit is infeasible at any
+  /// scale and reports +inf (so slack() cannot mask a violated zero-limit
+  /// constraint as fully slack).
   [[nodiscard]] double fraction() const {
-    return limit > 0.0 ? value / limit : 0.0;
+    if (limit > 0.0) {
+      return value / limit;
+    }
+    return value > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
   }
 };
 

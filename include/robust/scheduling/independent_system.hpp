@@ -61,6 +61,16 @@ class IndependentTaskSystem {
   /// to the binding machine, all of which receive the *same* ETC error.
   [[nodiscard]] std::vector<double> criticalPoint() const;
 
+  /// The equivalent generic FePIA derivation (one affine feature per
+  /// non-empty machine), ready for CompiledProblem::compile or the legacy
+  /// analyzer.
+  [[nodiscard]] core::ProblemSpec toSpec(
+      core::AnalyzerOptions options = {}) const;
+
+  /// Compiles the derivation for repeated / batched evaluation.
+  [[nodiscard]] core::CompiledProblem compile(
+      core::AnalyzerOptions options = {}) const;
+
   /// Builds the equivalent generic FePIA analyzer (one affine feature per
   /// non-empty machine). Used to cross-validate Eq. 6 against the generic
   /// solvers, and as the worked example of deriving a system with the core

@@ -1,105 +1,11 @@
 #include "robust/core/analyzer.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
 
-#include "robust/numeric/hyperplane.hpp"
 #include "robust/util/error.hpp"
 
 namespace robust::core {
-
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// Dual norm of the hyperplane normal for the closed-form distance
-/// |a.x0 - c| / ||a||_dual (dual of L2 is L2, of L1 is LInf, of LInf is L1;
-/// the dual of the w-weighted Euclidean norm is the 1/w-weighted one).
-double dualNorm(std::span<const double> a, NormKind norm,
-                std::span<const double> weights) {
-  switch (norm) {
-    case NormKind::L1:
-      return num::normInf(a);
-    case NormKind::L2:
-      return num::norm2(a);
-    case NormKind::LInf:
-      return num::norm1(a);
-    case NormKind::Weighted: {
-      double s = 0.0;
-      for (std::size_t i = 0; i < a.size(); ++i) {
-        s += a[i] * a[i] / weights[i];
-      }
-      return std::sqrt(s);
-    }
-  }
-  return 0.0;  // unreachable
-}
-
-/// Nearest boundary point on the hyperplane {x : a.x = c} from x0 under the
-/// chosen norm (the minimizer achieving the dual-norm distance).
-num::Vec nearestOnHyperplane(std::span<const double> a, double c,
-                             std::span<const double> x0, NormKind norm,
-                             std::span<const double> weights) {
-  const double gap = c - num::dot(a, x0);
-  num::Vec out(x0.begin(), x0.end());
-  switch (norm) {
-    case NormKind::L2: {
-      const double n2 = num::dot(a, a);
-      num::axpy(gap / n2, a, out);
-      break;
-    }
-    case NormKind::L1: {
-      // Move only the coordinate with the largest |a_k|.
-      std::size_t k = 0;
-      for (std::size_t i = 1; i < a.size(); ++i) {
-        if (std::fabs(a[i]) > std::fabs(a[k])) {
-          k = i;
-        }
-      }
-      out[k] += gap / a[k];
-      break;
-    }
-    case NormKind::LInf: {
-      // Move every coordinate by the same magnitude, signed with a_i.
-      const double t = gap / num::norm1(a);
-      for (std::size_t i = 0; i < a.size(); ++i) {
-        out[i] += (a[i] > 0.0 ? 1.0 : (a[i] < 0.0 ? -1.0 : 0.0)) * t;
-      }
-      break;
-    }
-    case NormKind::Weighted: {
-      // Lagrange: d_i = nu * a_i / w_i with nu = gap / sum(a_i^2 / w_i).
-      double denom = 0.0;
-      for (std::size_t i = 0; i < a.size(); ++i) {
-        denom += a[i] * a[i] / weights[i];
-      }
-      const double nu = gap / denom;
-      for (std::size_t i = 0; i < a.size(); ++i) {
-        out[i] += nu * a[i] / weights[i];
-      }
-      break;
-    }
-  }
-  return out;
-}
-
-double vectorNorm(std::span<const double> v, NormKind norm,
-                  std::span<const double> weights) {
-  switch (norm) {
-    case NormKind::L1:
-      return num::norm1(v);
-    case NormKind::L2:
-      return num::norm2(v);
-    case NormKind::LInf:
-      return num::normInf(v);
-    case NormKind::Weighted:
-      return num::weightedNorm2(v, weights);
-  }
-  return 0.0;  // unreachable
-}
-
-}  // namespace
 
 std::string toString(NormKind norm) {
   switch (norm) {
@@ -115,178 +21,9 @@ std::string toString(NormKind norm) {
   return "?";
 }
 
-RobustnessAnalyzer::RobustnessAnalyzer(
-    std::vector<PerformanceFeature> features, PerturbationParameter parameter,
-    AnalyzerOptions options)
-    : features_(std::move(features)),
-      parameter_(std::move(parameter)),
-      options_(options) {
-  ROBUST_REQUIRE(!features_.empty(),
-                 "RobustnessAnalyzer: at least one feature required");
-  ROBUST_REQUIRE(!parameter_.origin.empty(),
-                 "RobustnessAnalyzer: empty perturbation origin");
-  if (options_.norm == NormKind::Weighted) {
-    ROBUST_REQUIRE(options_.normWeights.size() == parameter_.origin.size(),
-                   "RobustnessAnalyzer: weighted norm requires one weight "
-                   "per perturbation component");
-    for (double w : options_.normWeights) {
-      ROBUST_REQUIRE(w > 0.0,
-                     "RobustnessAnalyzer: norm weights must be positive");
-    }
-  }
-  for (const auto& f : features_) {
-    const auto dim = f.impact.dimension();
-    ROBUST_REQUIRE(!dim || *dim == parameter_.origin.size(),
-                   "RobustnessAnalyzer: impact dimension of '" + f.name +
-                       "' does not match the perturbation parameter");
-    ROBUST_REQUIRE(f.bounds.min || f.bounds.max,
-                   "RobustnessAnalyzer: feature '" + f.name +
-                       "' has no tolerable-variation bound");
-  }
-}
-
-RadiusReport RobustnessAnalyzer::radiusAgainstLevel(
-    const PerformanceFeature& f, double level) const {
-  RadiusReport report;
-  report.feature = f.name;
-  report.boundaryLevel = level;
-
-  SolverKind solver = options_.solver;
-  if (solver == SolverKind::Auto) {
-    solver = f.impact.isAffine() ? SolverKind::Analytic : SolverKind::KktNewton;
-  }
-
-  if (solver == SolverKind::Analytic) {
-    ROBUST_REQUIRE(f.impact.isAffine(),
-                   "analytic radius requires an affine impact function");
-    const auto& w = f.impact.weights();
-    const double c = level - f.impact.constant();
-    const double denom = dualNorm(w, options_.norm, options_.normWeights);
-    ROBUST_REQUIRE(denom > 0.0,
-                   "analytic radius: impact does not depend on the parameter");
-    report.radius =
-        std::fabs(num::dot(w, parameter_.origin) - c) / denom;
-    report.boundaryPoint = nearestOnHyperplane(
-        w, c, parameter_.origin, options_.norm, options_.normWeights);
-    report.method = "analytic-" + toString(options_.norm);
-    return report;
-  }
-
-  if (solver == SolverKind::MonteCarlo) {
-    num::NearestPointProblem problem;
-    problem.g = f.impact.field();
-    problem.gradient = f.impact.gradientField();
-    problem.level = level;
-    problem.origin = parameter_.origin;
-    try {
-      // For non-Euclidean norms the estimator minimizes the requested norm
-      // directly (each sampled crossing is measured in that norm).
-      num::ScalarField measure;
-      if (options_.norm != NormKind::L2) {
-        const NormKind norm = options_.norm;
-        const num::Vec weights = options_.normWeights;
-        measure = [norm, weights](std::span<const double> d) {
-          return vectorNorm(d, norm, weights);
-        };
-      }
-      auto mc =
-          num::monteCarloRadius(problem, options_.solverOptions, measure);
-      report.radius = mc.distance;
-      report.boundaryPoint = std::move(mc.point);
-      report.method = mc.method;
-    } catch (const ConvergenceError&) {
-      report.radius = kInf;
-      report.boundReachable = false;
-      report.method = "monte-carlo";
-    }
-    return report;
-  }
-
-  ROBUST_REQUIRE(options_.norm == NormKind::L2,
-                 "iterative radius solvers support the l2 norm only");
-  num::NearestPointProblem problem;
-  problem.g = f.impact.field();
-  problem.gradient = f.impact.gradientField();
-  problem.level = level;
-  problem.origin = parameter_.origin;
-  try {
-    num::NearestPointResult solved;
-    switch (solver) {
-      case SolverKind::KktNewton:
-        solved = num::solveNearestPoint(problem, options_.solverOptions);
-        break;
-      case SolverKind::RaySearch:
-        solved = num::raySearch(problem, options_.solverOptions);
-        break;
-      default:
-        ROBUST_REQUIRE(false, "unexpected solver kind");
-    }
-    report.radius = solved.distance;
-    report.boundaryPoint = std::move(solved.point);
-    report.method = std::move(solved.method);
-  } catch (const ConvergenceError&) {
-    report.radius = kInf;
-    report.boundReachable = false;
-    report.method = "unreachable";
-  }
-  return report;
-}
-
-RadiusReport RobustnessAnalyzer::radiusOf(std::size_t index) const {
-  ROBUST_REQUIRE(index < features_.size(),
-                 "RobustnessAnalyzer: feature index out of range");
-  const PerformanceFeature& f = features_[index];
-
-  const double atOrigin = f.impact.evaluate(parameter_.origin);
-  if (!f.bounds.contains(atOrigin)) {
-    // Already violated at the operating point: zero robustness.
-    RadiusReport report;
-    report.feature = f.name;
-    report.radius = 0.0;
-    report.boundaryPoint = parameter_.origin;
-    report.boundaryLevel = atOrigin;
-    report.method = "violated-at-origin";
-    return report;
-  }
-
-  RadiusReport best;
-  best.feature = f.name;
-  best.radius = kInf;
-  best.boundReachable = false;
-  for (const auto& level : {f.bounds.min, f.bounds.max}) {
-    if (!level) {
-      continue;
-    }
-    RadiusReport candidate = radiusAgainstLevel(f, *level);
-    if (candidate.radius < best.radius) {
-      best = std::move(candidate);
-    }
-  }
-  return best;
-}
-
-RobustnessReport RobustnessAnalyzer::analyze() const {
-  RobustnessReport report;
-  report.radii.reserve(features_.size());
-  report.metric = kInf;
-  for (std::size_t i = 0; i < features_.size(); ++i) {
-    report.radii.push_back(radiusOf(i));
-    if (report.radii.back().radius < report.metric) {
-      report.metric = report.radii.back().radius;
-      report.bindingFeature = i;
-    }
-  }
-  if (parameter_.discrete && std::isfinite(report.metric)) {
-    // Section 3.2: a discrete parameter's metric should not be fractional.
-    report.metric = std::floor(report.metric);
-    report.floored = true;
-  }
-  return report;
-}
-
 double combinedRobustness(std::span<const RobustnessReport> reports) {
   ROBUST_REQUIRE(!reports.empty(), "combinedRobustness: no reports");
-  double metric = kInf;
+  double metric = std::numeric_limits<double>::infinity();
   for (const auto& r : reports) {
     metric = std::min(metric, r.metric);
   }

@@ -1,0 +1,546 @@
+#include "robust/core/compiled.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "robust/numeric/hyperplane.hpp"
+#include "robust/util/error.hpp"
+#include "robust/util/thread_pool.hpp"
+
+namespace robust::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Dual norm of the hyperplane normal for the closed-form distance
+/// |a.x0 - c| / ||a||_dual (dual of L2 is L2, of L1 is LInf, of LInf is L1;
+/// the dual of the w-weighted Euclidean norm is the 1/w-weighted one).
+double dualNorm(std::span<const double> a, NormKind norm,
+                std::span<const double> weights) {
+  switch (norm) {
+    case NormKind::L1:
+      return num::normInf(a);
+    case NormKind::L2:
+      return num::norm2(a);
+    case NormKind::LInf:
+      return num::norm1(a);
+    case NormKind::Weighted: {
+      double s = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        s += a[i] * a[i] / weights[i];
+      }
+      return std::sqrt(s);
+    }
+  }
+  return 0.0;  // unreachable
+}
+
+/// Nearest boundary point on the hyperplane {x : a.x = c} from x0 under the
+/// chosen norm (the minimizer achieving the dual-norm distance), written
+/// into `out` (buffer reuse; the arithmetic matches the legacy analyzer
+/// exactly). `gap` is c - a.x0, which every caller has already computed from
+/// the same dot product the legacy code used, so the bits are unchanged.
+void nearestOnHyperplaneInto(std::span<const double> a, double gap,
+                             std::span<const double> x0, NormKind norm,
+                             std::span<const double> weights, num::Vec& out) {
+  out.assign(x0.begin(), x0.end());
+  switch (norm) {
+    case NormKind::L2: {
+      const double n2 = num::dot(a, a);
+      num::axpy(gap / n2, a, out);
+      break;
+    }
+    case NormKind::L1: {
+      // Move only the coordinate with the largest |a_k|.
+      std::size_t k = 0;
+      for (std::size_t i = 1; i < a.size(); ++i) {
+        if (std::fabs(a[i]) > std::fabs(a[k])) {
+          k = i;
+        }
+      }
+      out[k] += gap / a[k];
+      break;
+    }
+    case NormKind::LInf: {
+      // Move every coordinate by the same magnitude, signed with a_i.
+      const double t = gap / num::norm1(a);
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        out[i] += (a[i] > 0.0 ? 1.0 : (a[i] < 0.0 ? -1.0 : 0.0)) * t;
+      }
+      break;
+    }
+    case NormKind::Weighted: {
+      // Lagrange: d_i = nu * a_i / w_i with nu = gap / sum(a_i^2 / w_i).
+      double denom = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        denom += a[i] * a[i] / weights[i];
+      }
+      const double nu = gap / denom;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        out[i] += nu * a[i] / weights[i];
+      }
+      break;
+    }
+  }
+}
+
+double vectorNorm(std::span<const double> v, NormKind norm,
+                  std::span<const double> weights) {
+  switch (norm) {
+    case NormKind::L1:
+      return num::norm1(v);
+    case NormKind::L2:
+      return num::norm2(v);
+    case NormKind::LInf:
+      return num::normInf(v);
+    case NormKind::Weighted:
+      return num::weightedNorm2(v, weights);
+  }
+  return 0.0;  // unreachable
+}
+
+/// Interned solver-method labels ("analytic-l2", ...), so evaluation never
+/// concatenates strings.
+const std::string& analyticMethodName(NormKind norm) {
+  static const std::string names[4] = {"analytic-l1", "analytic-l2",
+                                       "analytic-linf", "analytic-weighted"};
+  return names[static_cast<std::size_t>(norm)];
+}
+
+const std::string kViolatedAtOrigin = "violated-at-origin";
+
+/// The legacy iterative/Monte-Carlo radius path for one feature and one
+/// boundary level. Kept verbatim from the pre-compiled analyzer so reports
+/// stay bit-identical.
+RadiusReport radiusAgainstLevelIterative(const ImpactFunction& impact,
+                                         const std::string& name,
+                                         double level,
+                                         std::span<const double> origin,
+                                         SolverKind solver,
+                                         const AnalyzerOptions& options) {
+  RadiusReport report;
+  report.feature = name;
+  report.boundaryLevel = level;
+
+  if (solver == SolverKind::Analytic) {
+    ROBUST_REQUIRE(impact.isAffine(),
+                   "analytic radius requires an affine impact function");
+    const auto& w = impact.weights();
+    const double c = level - impact.constant();
+    const double denom = dualNorm(w, options.norm, options.normWeights);
+    ROBUST_REQUIRE(denom > 0.0,
+                   "analytic radius: impact does not depend on the parameter");
+    const double dotOrigin = num::dot(w, origin);
+    report.radius = std::fabs(dotOrigin - c) / denom;
+    nearestOnHyperplaneInto(w, c - dotOrigin, origin, options.norm,
+                            options.normWeights, report.boundaryPoint);
+    report.method = analyticMethodName(options.norm);
+    return report;
+  }
+
+  if (solver == SolverKind::MonteCarlo) {
+    num::NearestPointProblem problem;
+    problem.g = impact.field();
+    problem.gradient = impact.gradientField();
+    problem.level = level;
+    problem.origin.assign(origin.begin(), origin.end());
+    try {
+      // For non-Euclidean norms the estimator minimizes the requested norm
+      // directly (each sampled crossing is measured in that norm).
+      num::ScalarField measure;
+      if (options.norm != NormKind::L2) {
+        const NormKind norm = options.norm;
+        const num::Vec weights = options.normWeights;
+        measure = [norm, weights](std::span<const double> d) {
+          return vectorNorm(d, norm, weights);
+        };
+      }
+      auto mc = num::monteCarloRadius(problem, options.solverOptions, measure);
+      report.radius = mc.distance;
+      report.boundaryPoint = std::move(mc.point);
+      report.method = mc.method;
+    } catch (const ConvergenceError&) {
+      report.radius = kInf;
+      report.boundReachable = false;
+      report.method = "monte-carlo";
+    }
+    return report;
+  }
+
+  ROBUST_REQUIRE(options.norm == NormKind::L2,
+                 "iterative radius solvers support the l2 norm only");
+  num::NearestPointProblem problem;
+  problem.g = impact.field();
+  problem.gradient = impact.gradientField();
+  problem.level = level;
+  problem.origin.assign(origin.begin(), origin.end());
+  try {
+    num::NearestPointResult solved;
+    switch (solver) {
+      case SolverKind::KktNewton:
+        solved = num::solveNearestPoint(problem, options.solverOptions);
+        break;
+      case SolverKind::RaySearch:
+        solved = num::raySearch(problem, options.solverOptions);
+        break;
+      default:
+        ROBUST_REQUIRE(false, "unexpected solver kind");
+    }
+    report.radius = solved.distance;
+    report.boundaryPoint = std::move(solved.point);
+    report.method = std::move(solved.method);
+  } catch (const ConvergenceError&) {
+    report.radius = kInf;
+    report.boundReachable = false;
+    report.method = "unreachable";
+  }
+  return report;
+}
+
+}  // namespace
+
+void evaluateAffineRadius(const AffineFeatureView& feature,
+                          std::span<const double> origin,
+                          const AnalyzerOptions& options,
+                          std::string_view name, RadiusReport& out,
+                          double dualNormHint) {
+  out.feature.assign(name.data(), name.size());
+  const double dotOrigin = num::dot(feature.weights, origin);
+  const double atOrigin = dotOrigin + feature.constant;
+
+  const bool withinMin = !feature.boundMin || atOrigin >= *feature.boundMin;
+  const bool withinMax = !feature.boundMax || atOrigin <= *feature.boundMax;
+  if (!withinMin || !withinMax) {
+    // Already violated at the operating point: zero robustness.
+    out.radius = 0.0;
+    out.boundaryPoint.assign(origin.begin(), origin.end());
+    out.boundaryLevel = atOrigin;
+    out.boundReachable = true;
+    out.method = kViolatedAtOrigin;
+    return;
+  }
+
+  const double denom =
+      dualNormHint > 0.0
+          ? dualNormHint
+          : dualNorm(feature.weights, options.norm, options.normWeights);
+  ROBUST_REQUIRE(denom > 0.0,
+                 "analytic radius: impact does not depend on the parameter");
+
+  // Pick the binding bound first (the same strict-< selection the legacy
+  // analyzer used), then materialize its boundary point once.
+  double bestRadius = kInf;
+  double bestLevel = 0.0;
+  bool haveBest = false;
+  for (const auto& level : {feature.boundMin, feature.boundMax}) {
+    if (!level) {
+      continue;
+    }
+    const double radius =
+        std::fabs(dotOrigin - (*level - feature.constant)) / denom;
+    if (radius < bestRadius) {
+      bestRadius = radius;
+      bestLevel = *level;
+      haveBest = true;
+    }
+  }
+  if (!haveBest) {
+    out.radius = kInf;
+    out.boundaryPoint.clear();
+    out.boundaryLevel = 0.0;
+    out.boundReachable = false;
+    out.method.clear();
+    return;
+  }
+  out.radius = bestRadius;
+  out.boundaryLevel = bestLevel;
+  out.boundReachable = true;
+  out.method = analyticMethodName(options.norm);
+  nearestOnHyperplaneInto(feature.weights,
+                          (bestLevel - feature.constant) - dotOrigin, origin,
+                          options.norm, options.normWeights,
+                          out.boundaryPoint);
+}
+
+CompiledProblem CompiledProblem::compile(ProblemSpec spec) {
+  CompiledProblem p;
+  p.features_ = std::move(spec.features);
+  p.parameter_ = std::move(spec.parameter);
+  p.options_ = std::move(spec.options);
+
+  ROBUST_REQUIRE(!p.features_.empty(),
+                 "CompiledProblem: at least one feature required");
+  ROBUST_REQUIRE(!p.parameter_.origin.empty(),
+                 "CompiledProblem: empty perturbation origin");
+  p.dim_ = p.parameter_.origin.size();
+  if (p.options_.norm == NormKind::Weighted) {
+    ROBUST_REQUIRE(p.options_.normWeights.size() == p.dim_,
+                   "CompiledProblem: weighted norm requires one weight "
+                   "per perturbation component");
+    for (double w : p.options_.normWeights) {
+      ROBUST_REQUIRE(w > 0.0,
+                     "CompiledProblem: norm weights must be positive");
+    }
+  }
+
+  const std::size_t n = p.features_.size();
+  p.rowIndex_.assign(n, kNoRow);
+  p.constants_.assign(n, 0.0);
+  std::size_t rows = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& f = p.features_[i];
+    const auto dim = f.impact.dimension();
+    ROBUST_REQUIRE(!dim || *dim == p.dim_,
+                   "CompiledProblem: impact dimension of '" + f.name +
+                       "' does not match the perturbation parameter");
+    ROBUST_REQUIRE(f.bounds.min || f.bounds.max,
+                   "CompiledProblem: feature '" + f.name +
+                       "' has no tolerable-variation bound");
+    if (f.impact.isAffine()) {
+      p.rowIndex_[i] = rows++;
+      p.constants_[i] = f.impact.constant();
+    } else {
+      p.callables_.push_back(i);
+    }
+  }
+
+  // Pack the affine lane: one dense row-major matrix plus, per row, the
+  // dual norm under every NormKind (the Weighted entry needs compiled norm
+  // weights of the right size; otherwise it is NaN).
+  p.weights_.resize(rows * p.dim_);
+  for (int k = 0; k < 4; ++k) {
+    p.dualNorms_[k].assign(rows, std::numeric_limits<double>::quiet_NaN());
+  }
+  const bool haveWeighted = p.options_.normWeights.size() == p.dim_;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p.rowIndex_[i] == kNoRow) {
+      continue;
+    }
+    const num::Vec& w = p.features_[i].impact.weights();
+    std::copy(w.begin(), w.end(),
+              p.weights_.begin() +
+                  static_cast<std::ptrdiff_t>(p.rowIndex_[i] * p.dim_));
+    const std::span<const double> row = p.rowOf(i);
+    const std::size_t r = p.rowIndex_[i];
+    p.dualNorms_[static_cast<int>(NormKind::L1)][r] =
+        dualNorm(row, NormKind::L1, {});
+    p.dualNorms_[static_cast<int>(NormKind::L2)][r] =
+        dualNorm(row, NormKind::L2, {});
+    p.dualNorms_[static_cast<int>(NormKind::LInf)][r] =
+        dualNorm(row, NormKind::LInf, {});
+    if (haveWeighted) {
+      p.dualNorms_[static_cast<int>(NormKind::Weighted)][r] =
+          dualNorm(row, NormKind::Weighted, p.options_.normWeights);
+    }
+  }
+  return p;
+}
+
+double CompiledProblem::rowDualNorm(std::size_t feature, NormKind norm) const {
+  ROBUST_REQUIRE(feature < features_.size(),
+                 "CompiledProblem: feature index out of range");
+  if (rowIndex_[feature] == kNoRow) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return dualNorms_[static_cast<int>(norm)][rowIndex_[feature]];
+}
+
+void CompiledProblem::radiusOfInto(std::size_t index,
+                                   std::span<const double> origin,
+                                   double constant, double scale,
+                                   RadiusReport& out,
+                                   EvalWorkspace& workspace) const {
+  const PerformanceFeature& f = features_[index];
+  const bool affine = rowIndex_[index] != kNoRow;
+
+  SolverKind solver = options_.solver;
+  if (solver == SolverKind::Auto) {
+    solver = affine ? SolverKind::Analytic : SolverKind::KktNewton;
+  }
+
+  if (affine && solver == SolverKind::Analytic) {
+    std::span<const double> w = rowOf(index);
+    double hint = dualNorms_[static_cast<int>(options_.norm)][rowIndex_[index]];
+    if (scale != 1.0) {
+      ROBUST_REQUIRE(scale > 0.0,
+                     "CompiledProblem: instance scales must be positive");
+      workspace.scaledRow_.resize(dim_);
+      for (std::size_t k = 0; k < dim_; ++k) {
+        workspace.scaledRow_[k] = w[k] * scale;
+      }
+      w = workspace.scaledRow_;
+      hint = 0.0;  // recompute on the scaled row
+    }
+    evaluateAffineRadius(
+        AffineFeatureView{w, constant, f.bounds.min, f.bounds.max}, origin,
+        options_, f.name, out, hint);
+    return;
+  }
+
+  // Iterative / Monte-Carlo lane (and explicit-analytic on a callable,
+  // which must keep throwing exactly as the legacy analyzer did — but only
+  // after the at-origin check).
+  radiusSlowPath(index, origin, constant, scale,
+                 affine ? rowOf(index) : std::span<const double>{}, solver,
+                 out);
+}
+
+void CompiledProblem::radiusSlowPath(std::size_t index,
+                                     std::span<const double> origin,
+                                     double constant, double scale,
+                                     std::span<const double> weights,
+                                     SolverKind solver,
+                                     RadiusReport& out) const {
+  const PerformanceFeature& f = features_[index];
+  const bool affine = rowIndex_[index] != kNoRow;
+
+  // Materialize the effective impact when the instance overrides the
+  // compiled constants or scales (affine lane only).
+  const ImpactFunction* impact = &f.impact;
+  std::optional<ImpactFunction> materialized;
+  if (affine && (scale != 1.0 || constant != constants_[index])) {
+    ROBUST_REQUIRE(scale > 0.0,
+                   "CompiledProblem: instance scales must be positive");
+    num::Vec w(dim_);
+    for (std::size_t k = 0; k < dim_; ++k) {
+      w[k] = weights[k] * scale;
+    }
+    materialized.emplace(ImpactFunction::affine(std::move(w), constant));
+    impact = &*materialized;
+  }
+
+  const double atOrigin = impact->evaluate(origin);
+  if (!f.bounds.contains(atOrigin)) {
+    // Already violated at the operating point: zero robustness.
+    out.feature = f.name;
+    out.radius = 0.0;
+    out.boundaryPoint.assign(origin.begin(), origin.end());
+    out.boundaryLevel = atOrigin;
+    out.boundReachable = true;
+    out.method = kViolatedAtOrigin;
+    return;
+  }
+
+  RadiusReport best;
+  best.feature = f.name;
+  best.radius = kInf;
+  best.boundReachable = false;
+  for (const auto& level : {f.bounds.min, f.bounds.max}) {
+    if (!level) {
+      continue;
+    }
+    RadiusReport candidate = radiusAgainstLevelIterative(
+        *impact, f.name, *level, origin, solver, options_);
+    if (candidate.radius < best.radius) {
+      best = std::move(candidate);
+    }
+  }
+  out = std::move(best);
+}
+
+const RobustnessReport& CompiledProblem::evaluate(
+    const AnalysisInstance& instance, EvalWorkspace& workspace) const {
+  const std::span<const double> origin =
+      instance.origin.empty() ? std::span<const double>(parameter_.origin)
+                              : instance.origin;
+  ROBUST_REQUIRE(origin.size() == dim_,
+                 "CompiledProblem: instance origin size does not match the "
+                 "perturbation dimension");
+  const std::size_t n = features_.size();
+  ROBUST_REQUIRE(instance.constants.empty() || instance.constants.size() == n,
+                 "CompiledProblem: instance constants must have one entry "
+                 "per feature");
+  ROBUST_REQUIRE(instance.scales.empty() || instance.scales.size() == n,
+                 "CompiledProblem: instance scales must have one entry per "
+                 "feature");
+
+  RobustnessReport& report = workspace.report_;
+  report.radii.resize(n);
+  report.metric = kInf;
+  report.bindingFeature = 0;
+  report.floored = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool affine = rowIndex_[i] != kNoRow;
+    const double constant =
+        affine && !instance.constants.empty() ? instance.constants[i]
+                                              : constants_[i];
+    const double scale =
+        affine && !instance.scales.empty() ? instance.scales[i] : 1.0;
+    radiusOfInto(i, origin, constant, scale, report.radii[i], workspace);
+    if (report.radii[i].radius < report.metric) {
+      report.metric = report.radii[i].radius;
+      report.bindingFeature = i;
+    }
+  }
+  if (parameter_.discrete && std::isfinite(report.metric)) {
+    // Section 3.2: a discrete parameter's metric should not be fractional.
+    report.metric = std::floor(report.metric);
+    report.floored = true;
+  }
+  return report;
+}
+
+RobustnessReport CompiledProblem::evaluate(
+    const AnalysisInstance& instance) const {
+  EvalWorkspace workspace;
+  return evaluate(instance, workspace);
+}
+
+RobustnessReport CompiledProblem::evaluate() const {
+  return evaluate(AnalysisInstance{});
+}
+
+RadiusReport CompiledProblem::radiusOf(std::size_t index) const {
+  ROBUST_REQUIRE(index < features_.size(),
+                 "CompiledProblem: feature index out of range");
+  EvalWorkspace workspace;
+  RadiusReport out;
+  radiusOfInto(index, parameter_.origin, constants_[index], 1.0, out,
+               workspace);
+  return out;
+}
+
+void CompiledProblem::analyzeBatch(std::span<const AnalysisInstance> instances,
+                                   std::span<RobustnessReport> out,
+                                   std::size_t threads) const {
+  ROBUST_REQUIRE(out.size() == instances.size(),
+                 "analyzeBatch: output size does not match instance count");
+  const std::size_t n = instances.size();
+  if (n == 0) {
+    return;
+  }
+  std::size_t workers = threads == 0 ? defaultThreadCount() : threads;
+  workers = std::min(workers, n);
+  if (workers <= 1) {
+    EvalWorkspace workspace;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = evaluate(instances[i], workspace);
+    }
+    return;
+  }
+  // One contiguous block per worker; each block reuses its own workspace
+  // and writes disjoint output slots, so results are independent of the
+  // worker count.
+  std::vector<EvalWorkspace> workspaces(workers);
+  parallelFor(
+      0, workers,
+      [&](std::size_t b) {
+        const std::size_t lo = n * b / workers;
+        const std::size_t hi = n * (b + 1) / workers;
+        for (std::size_t i = lo; i < hi; ++i) {
+          out[i] = evaluate(instances[i], workspaces[b]);
+        }
+      },
+      workers);
+}
+
+std::vector<RobustnessReport> CompiledProblem::analyzeBatch(
+    std::span<const AnalysisInstance> instances, std::size_t threads) const {
+  std::vector<RobustnessReport> out(instances.size());
+  analyzeBatch(instances, out, threads);
+  return out;
+}
+
+}  // namespace robust::core

@@ -13,9 +13,9 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-bool violatesAny(const RobustnessAnalyzer& analyzer,
+bool violatesAny(const CompiledProblem& problem,
                  std::span<const double> point) {
-  for (const auto& f : analyzer.features()) {
+  for (const auto& f : problem.features()) {
     if (!f.bounds.contains(f.impact.evaluate(point))) {
       return true;
     }
@@ -52,9 +52,9 @@ bool enumerateShell(const num::Vec& origin, double limit, std::size_t dim,
 
 }  // namespace
 
-DiscreteRadiusBounds discreteRadiusBounds(const RobustnessAnalyzer& analyzer,
+DiscreteRadiusBounds discreteRadiusBounds(const CompiledProblem& problem,
                                           const DiscreteOptions& options) {
-  const auto& parameter = analyzer.parameter();
+  const auto& parameter = problem.parameter();
   ROBUST_REQUIRE(parameter.discrete,
                  "discreteRadiusBounds: parameter is not discrete");
   for (double v : parameter.origin) {
@@ -72,8 +72,8 @@ DiscreteRadiusBounds discreteRadiusBounds(const RobustnessAnalyzer& analyzer,
   const std::size_t n = parameter.origin.size();
   std::vector<num::Vec> boundaryPoints;
   bounds.lower = kInf;
-  for (std::size_t i = 0; i < analyzer.featureCount(); ++i) {
-    const RadiusReport radius = analyzer.radiusOf(i);
+  for (std::size_t i = 0; i < problem.featureCount(); ++i) {
+    const RadiusReport radius = problem.radiusOf(i);
     if (std::isfinite(radius.radius)) {
       bounds.lower = std::min(bounds.lower, radius.radius);
       if (!radius.boundaryPoint.empty()) {
@@ -86,7 +86,7 @@ DiscreteRadiusBounds discreteRadiusBounds(const RobustnessAnalyzer& analyzer,
 
   auto consider = [&](const num::Vec& candidate) {
     const double dist = num::distance2(candidate, parameter.origin);
-    if (dist < bounds.upper && violatesAny(analyzer, candidate)) {
+    if (dist < bounds.upper && violatesAny(problem, candidate)) {
       bounds.upper = dist;
       bounds.violatingPoint = candidate;
     }
@@ -137,7 +137,7 @@ DiscreteRadiusBounds discreteRadiusBounds(const RobustnessAnalyzer& analyzer,
         [&](const num::Vec& candidate) {
           const double dist = num::distance2(candidate, parameter.origin);
           if (dist < bestExhaustive && dist > 0.0 &&
-              violatesAny(analyzer, candidate)) {
+              violatesAny(problem, candidate)) {
             bestExhaustive = dist;
             bestPoint = candidate;
           }
@@ -154,6 +154,11 @@ DiscreteRadiusBounds discreteRadiusBounds(const RobustnessAnalyzer& analyzer,
     }
   }
   return bounds;
+}
+
+DiscreteRadiusBounds discreteRadiusBounds(const RobustnessAnalyzer& analyzer,
+                                          const DiscreteOptions& options) {
+  return discreteRadiusBounds(analyzer.compiled(), options);
 }
 
 }  // namespace robust::core

@@ -39,15 +39,24 @@ FepiaBuilder& FepiaBuilder::options(AnalyzerOptions options) {
   return *this;
 }
 
-RobustnessAnalyzer FepiaBuilder::build() {
+ProblemSpec FepiaBuilder::spec() {
   ROBUST_REQUIRE(!built_, "FepiaBuilder: build() already called");
   ROBUST_REQUIRE(haveParameter_,
                  "FepiaBuilder: step 2 (perturbation parameter) missing");
   ROBUST_REQUIRE(!features_.empty(),
                  "FepiaBuilder: steps 1/3 (performance features) missing");
   built_ = true;
-  return RobustnessAnalyzer(std::move(features_), std::move(parameter_),
-                            options_);
+  return ProblemSpec{std::move(features_), std::move(parameter_), options_};
+}
+
+CompiledProblem FepiaBuilder::compile() {
+  return CompiledProblem::compile(spec());
+}
+
+RobustnessAnalyzer FepiaBuilder::build() {
+  ProblemSpec s = spec();
+  return RobustnessAnalyzer(std::move(s.features), std::move(s.parameter),
+                            std::move(s.options));
 }
 
 }  // namespace robust::core

@@ -1,0 +1,296 @@
+#include "robust/hiperd/compiled_scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "robust/core/analyzer.hpp"
+#include "robust/util/error.hpp"
+#include "robust/util/thread_pool.hpp"
+
+namespace robust::hiperd {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+CompiledScenario::CompiledScenario(const HiperdScenario& scenario,
+                                   core::AnalyzerOptions options)
+    : scenario_(&scenario), options_(std::move(options)) {
+  validateScenario(scenario);
+  const auto& graph = scenario.graph;
+  sensors_ = graph.sensorCount();
+  const std::size_t apps = graph.applicationCount();
+  const std::size_t machines = scenario.machines;
+
+  if (options_.norm == core::NormKind::Weighted) {
+    ROBUST_REQUIRE(options_.normWeights.size() == sensors_,
+                   "CompiledScenario: weighted norm requires one weight per "
+                   "sensor load");
+    for (double w : options_.normWeights) {
+      ROBUST_REQUIRE(w > 0.0,
+                     "CompiledScenario: norm weights must be positive");
+    }
+  }
+
+  parameter_ = core::PerturbationParameter{
+      "lambda (sensor loads)", scenario.lambdaOrig, /*discrete=*/true,
+      "objects per data set"};
+
+  // 1/R(a_i): tightest throughput bound over the paths containing the app
+  // (the same derivation as HiperdSystem, which is mapping-independent).
+  throughputBound_.assign(apps, 0.0);
+  std::vector<double> maxRate(apps, 0.0);
+  for (const Path& path : graph.paths()) {
+    const double rate = graph.sensorRate(path.drivingSensor);
+    for (std::size_t app : path.apps) {
+      maxRate[app] = std::max(maxRate[app], rate);
+    }
+  }
+  for (std::size_t i = 0; i < apps; ++i) {
+    throughputBound_[i] = maxRate[i] > 0.0 ? 1.0 / maxRate[i] : kInf;
+  }
+
+  // The fast path needs every load function linear (any mapping then yields
+  // an all-affine derivation) and the analytic solver.
+  bool allLinear = true;
+  computeZero_.assign(apps * machines, 0);
+  for (std::size_t i = 0; i < apps; ++i) {
+    for (std::size_t m = 0; m < machines; ++m) {
+      const LoadFunction& fn = scenario.compute[i][m];
+      allLinear &= fn.isLinear();
+      computeZero_[i * machines + m] = fn.isZero() ? 1 : 0;
+    }
+  }
+  commZero_.reserve(scenario.comm.size());
+  for (const LoadFunction& fn : scenario.comm) {
+    allLinear &= fn.isLinear();
+    commZero_.push_back(fn.isZero() ? 1 : 0);
+  }
+  fast_ = allLinear && (options_.solver == core::SolverKind::Auto ||
+                        options_.solver == core::SolverKind::Analytic);
+
+  // Computation (Tc) lane: eligible apps and their interned names.
+  for (std::size_t i = 0; i < apps; ++i) {
+    if (!std::isfinite(throughputBound_[i])) {
+      continue;
+    }
+    tcApps_.push_back(i);
+    tcNames_.push_back("Tc(" + graph.applicationName(i) + ")");
+  }
+
+  // Communication (Tn) lane: mapping-independent, so on the fast path the
+  // complete radius reports are solved here, once.
+  for (std::size_t i = 0; i < apps; ++i) {
+    if (!std::isfinite(throughputBound_[i])) {
+      continue;
+    }
+    for (std::size_t eid : graph.outEdgesOfApp(i)) {
+      const LoadFunction& fn = scenario.comm[eid];
+      if (fn.isZero()) {
+        continue;
+      }
+      const Edge& e = graph.edge(eid);
+      const std::string toName = e.to.kind == NodeKind::Application
+                                     ? graph.applicationName(e.to.index)
+                                     : graph.actuatorName(e.to.index);
+      const std::string name =
+          "Tn(" + graph.applicationName(i) + "->" + toName + ")";
+      core::RadiusReport report;
+      if (fast_) {
+        // The legacy impact is fn.impact(1.0) = affine(scale(coeffs, 1.0));
+        // scaling by 1.0 is exact, so the raw coefficients give the same
+        // bits.
+        core::evaluateAffineRadius(
+            core::AffineFeatureView{fn.coeffs(), 0.0, std::nullopt,
+                                    throughputBound_[i]},
+            scenario.lambdaOrig, options_, name, report);
+      } else {
+        report.feature = name;  // placeholder; the fallback path re-derives
+      }
+      tnReports_.push_back(std::move(report));
+    }
+  }
+
+  // Latency (L) lane names.
+  for (std::size_t k = 0; k < graph.paths().size(); ++k) {
+    latencyNames_.push_back("L_" + std::to_string(k));
+  }
+}
+
+double CompiledScenario::throughputBound(std::size_t app) const {
+  ROBUST_REQUIRE(app < throughputBound_.size(),
+                 "throughputBound: app index out of range");
+  return throughputBound_[app];
+}
+
+const num::Vec& CompiledScenario::computeCoeffs(std::size_t app,
+                                                std::size_t machine) const {
+  return scenario_->compute[app][machine].coeffs();
+}
+
+const core::RobustnessReport& CompiledScenario::analyze(
+    const sched::Mapping& mapping, ScenarioWorkspace& workspace) const {
+  const auto& graph = scenario_->graph;
+  const std::size_t apps = graph.applicationCount();
+  const std::size_t machines = scenario_->machines;
+  ROBUST_REQUIRE(mapping.apps() == apps && mapping.machines() == machines,
+                 "CompiledScenario: mapping does not match the scenario");
+
+  if (!fast_) {
+    // Non-linear load functions or an iterative solver: delegate to the
+    // legacy derivation (identical results, legacy cost).
+    workspace.report_ =
+        HiperdSystem(*scenario_, mapping).toAnalyzer(options_).analyze();
+    return workspace.report_;
+  }
+
+  // Multitasking factors for this mapping.
+  workspace.counts_.assign(machines, 0);
+  for (std::size_t i = 0; i < apps; ++i) {
+    ++workspace.counts_[mapping.machineOf(i)];
+  }
+  workspace.factors_.resize(apps);
+  for (std::size_t i = 0; i < apps; ++i) {
+    workspace.factors_[i] =
+        multitaskFactor(workspace.counts_[mapping.machineOf(i)]);
+  }
+
+  core::RobustnessReport& report = workspace.report_;
+  auto& radii = report.radii;
+  std::size_t used = 0;
+  report.metric = kInf;
+  report.bindingFeature = 0;
+  report.floored = false;
+  const std::span<const double> origin = scenario_->lambdaOrig;
+
+  const auto nextSlot = [&]() -> core::RadiusReport& {
+    if (used == radii.size()) {
+      radii.emplace_back();
+    }
+    return radii[used++];
+  };
+  const auto noteRadius = [&](const core::RadiusReport& r) {
+    if (r.radius < report.metric) {
+      report.metric = r.radius;
+      report.bindingFeature = used - 1;
+    }
+  };
+
+  // Computation (Tc) lane: weights = factor * compute coefficients.
+  for (std::size_t t = 0; t < tcApps_.size(); ++t) {
+    const std::size_t i = tcApps_[t];
+    const std::size_t m = mapping.machineOf(i);
+    if (computeZero_[i * machines + m]) {
+      continue;  // no dependence on lambda: boundary unreachable
+    }
+    const num::Vec& coeffs = computeCoeffs(i, m);
+    const double factor = workspace.factors_[i];
+    std::span<const double> row = coeffs;
+    if (factor != 1.0) {
+      workspace.row_.resize(sensors_);
+      for (std::size_t z = 0; z < sensors_; ++z) {
+        workspace.row_[z] = coeffs[z] * factor;
+      }
+      row = workspace.row_;
+    }  // factor == 1.0: coeffs * 1.0 is bitwise coeffs, use the row as-is
+    core::RadiusReport& slot = nextSlot();
+    core::evaluateAffineRadius(
+        core::AffineFeatureView{row, 0.0, std::nullopt, throughputBound_[i]},
+        origin, options_, tcNames_[t], slot);
+    noteRadius(slot);
+  }
+
+  // Communication (Tn) lane: copy the pre-solved reports.
+  for (const core::RadiusReport& tn : tnReports_) {
+    core::RadiusReport& slot = nextSlot();
+    slot = tn;
+    noteRadius(slot);
+  }
+
+  // Latency (L) lane: per-path weights assembled in the legacy accumulation
+  // order (per-app axpy with the multitask factor, then per-edge axpy), so
+  // the floating-point sums match the legacy derivation bit for bit.
+  for (std::size_t k = 0; k < graph.paths().size(); ++k) {
+    const Path& path = graph.paths()[k];
+    workspace.row_.assign(sensors_, 0.0);
+    for (std::size_t app : path.apps) {
+      // Skipping an all-zero contribution is bit-safe: adding 1.0 * 0.0 (or
+      // factor * 0.0) never changes an accumulated component's bits here.
+      if (computeZero_[app * machines + mapping.machineOf(app)]) {
+        continue;
+      }
+      num::axpy(workspace.factors_[app],
+                computeCoeffs(app, mapping.machineOf(app)), workspace.row_);
+    }
+    for (std::size_t eid : path.edges) {
+      if (commZero_[eid]) {
+        continue;
+      }
+      num::axpy(1.0, scenario_->comm[eid].coeffs(), workspace.row_);
+    }
+    if (num::norm2(workspace.row_) == 0.0) {
+      continue;  // path latency does not depend on lambda
+    }
+    core::RadiusReport& slot = nextSlot();
+    core::evaluateAffineRadius(
+        core::AffineFeatureView{workspace.row_, 0.0, std::nullopt,
+                                scenario_->latencyLimits[k]},
+        origin, options_, latencyNames_[k], slot);
+    noteRadius(slot);
+  }
+
+  radii.resize(used);
+  ROBUST_REQUIRE(used > 0, "CompiledScenario: at least one feature required");
+  if (std::isfinite(report.metric)) {
+    // Section 3.2: a discrete parameter's metric should not be fractional.
+    report.metric = std::floor(report.metric);
+    report.floored = true;
+  }
+  return report;
+}
+
+core::RobustnessReport CompiledScenario::analyze(
+    const sched::Mapping& mapping) const {
+  ScenarioWorkspace workspace;
+  return analyze(mapping, workspace);
+}
+
+std::vector<core::RobustnessReport> CompiledScenario::analyzeMappings(
+    std::span<const sched::Mapping> mappings, std::size_t threads) const {
+  std::vector<core::RobustnessReport> out(mappings.size());
+  const std::size_t n = mappings.size();
+  if (n == 0) {
+    return out;
+  }
+  std::size_t workers = threads == 0 ? defaultThreadCount() : threads;
+  workers = std::min(workers, n);
+  if (workers <= 1) {
+    ScenarioWorkspace workspace;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = analyze(mappings[i], workspace);
+    }
+    return out;
+  }
+  // One contiguous block per worker with a dedicated workspace; output
+  // slots are disjoint, so results are independent of the worker count.
+  std::vector<ScenarioWorkspace> workspaces(workers);
+  parallelFor(
+      0, workers,
+      [&](std::size_t b) {
+        const std::size_t lo = n * b / workers;
+        const std::size_t hi = n * (b + 1) / workers;
+        for (std::size_t i = lo; i < hi; ++i) {
+          out[i] = analyze(mappings[i], workspaces[b]);
+        }
+      },
+      workers);
+  return out;
+}
+
+CompiledScenario HiperdScenario::compile(core::AnalyzerOptions options) const {
+  return CompiledScenario(*this, std::move(options));
+}
+
+}  // namespace robust::hiperd

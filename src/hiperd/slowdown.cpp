@@ -6,8 +6,8 @@
 
 namespace robust::hiperd {
 
-core::RobustnessAnalyzer slowdownAnalyzer(const HiperdSystem& system,
-                                          core::AnalyzerOptions options) {
+core::ProblemSpec slowdownSpec(const HiperdSystem& system,
+                               core::AnalyzerOptions options) {
   const HiperdScenario& scenario = system.scenario();
   const sched::Mapping& mapping = system.mapping();
   const auto& graph = scenario.graph;
@@ -61,8 +61,16 @@ core::RobustnessAnalyzer slowdownAnalyzer(const HiperdSystem& system,
   core::PerturbationParameter parameter{
       "s (machine slowdown factors)", num::Vec(machines, 1.0),
       /*discrete=*/false, "x (multiple of assumed speed)"};
-  return core::RobustnessAnalyzer(std::move(features), std::move(parameter),
-                                  options);
+  return core::ProblemSpec{std::move(features), std::move(parameter),
+                           std::move(options)};
+}
+
+core::RobustnessAnalyzer slowdownAnalyzer(const HiperdSystem& system,
+                                          core::AnalyzerOptions options) {
+  core::ProblemSpec spec = slowdownSpec(system, std::move(options));
+  return core::RobustnessAnalyzer(std::move(spec.features),
+                                  std::move(spec.parameter),
+                                  std::move(spec.options));
 }
 
 }  // namespace robust::hiperd

@@ -97,7 +97,7 @@ std::vector<double> IndependentTaskSystem::criticalPoint() const {
   return cStar;
 }
 
-core::RobustnessAnalyzer IndependentTaskSystem::toAnalyzer(
+core::ProblemSpec IndependentTaskSystem::toSpec(
     core::AnalyzerOptions options) const {
   const double bound = tau_ * predictedMakespan();
   const auto counts = mapping_.countPerMachine();
@@ -122,8 +122,21 @@ core::RobustnessAnalyzer IndependentTaskSystem::toAnalyzer(
   core::PerturbationParameter parameter{
       "C (actual execution times)", estimatedTimes(), /*discrete=*/false,
       "seconds"};
-  return core::RobustnessAnalyzer(std::move(features), std::move(parameter),
-                                  options);
+  return core::ProblemSpec{std::move(features), std::move(parameter),
+                           std::move(options)};
+}
+
+core::CompiledProblem IndependentTaskSystem::compile(
+    core::AnalyzerOptions options) const {
+  return core::CompiledProblem::compile(toSpec(std::move(options)));
+}
+
+core::RobustnessAnalyzer IndependentTaskSystem::toAnalyzer(
+    core::AnalyzerOptions options) const {
+  core::ProblemSpec spec = toSpec(std::move(options));
+  return core::RobustnessAnalyzer(std::move(spec.features),
+                                  std::move(spec.parameter),
+                                  std::move(spec.options));
 }
 
 }  // namespace robust::sched

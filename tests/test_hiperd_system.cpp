@@ -134,6 +134,29 @@ std::size_t pathIndexOf(const SystemGraph& g, PathKind kind,
   throw std::logic_error("path not found");
 }
 
+TEST(ConstraintStatus, FractionAgainstNonPositiveLimit) {
+  // A positive value against a zero (or negative) limit is infeasible at any
+  // scale: fraction() must report +inf, not 0/0 = NaN or a garbage ratio
+  // that would let slack() mask the violation as fully slack.
+  ConstraintStatus status;
+  status.value = 3.0;
+  status.limit = 0.0;
+  EXPECT_TRUE(std::isinf(status.fraction()));
+  EXPECT_GT(status.fraction(), 0.0);
+  status.limit = -1.0;
+  EXPECT_TRUE(std::isinf(status.fraction()));
+
+  // A zero value against a zero limit is trivially satisfied.
+  status.value = 0.0;
+  status.limit = 0.0;
+  EXPECT_DOUBLE_EQ(status.fraction(), 0.0);
+
+  // The ordinary ratio is untouched.
+  status.value = 1.0;
+  status.limit = 4.0;
+  EXPECT_DOUBLE_EQ(status.fraction(), 0.25);
+}
+
 TEST(HiperdSystem, FactorsAndComputationTimes) {
   const HiperdScenario scenario = miniScenario();
   const HiperdSystem system(scenario, miniMapping());
