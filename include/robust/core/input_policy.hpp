@@ -1,0 +1,51 @@
+// The value-domain policy enforced at every external-input boundary.
+//
+// The FePIA pipeline is only as trustworthy as the matrices, graphs and
+// vectors fed into it: a single NaN cell admitted by a loader poisons every
+// downstream radius (NaN breaks std::sort's strict weak ordering, converts
+// to size_t with undefined behavior, and defeats every bracketing test in
+// the 1-D solvers). The loaders therefore validate *values* at load time,
+// under this policy, and the structural invariants (rectangular ETC, DAG
+// acyclicity, sensor fan-out, count cross-checks) unconditionally — so
+// nothing non-finite or structurally inconsistent ever reaches a
+// CompiledProblem.
+#pragma once
+
+#include <cstddef>
+
+namespace robust::core {
+
+/// Which value-domain checks a loader applies. Structural invariants are
+/// not policy-controlled: a ragged matrix or a cyclic scenario graph is
+/// rejected regardless.
+struct InputPolicy {
+  /// Reject inf/nan numeric fields outright (cells, rates, loads, limits,
+  /// coefficients). Disabling this re-admits non-finite values and with
+  /// them the undefined behavior documented above — only do so to inspect
+  /// a corrupt archive, never ahead of analysis.
+  bool requireFinite = true;
+
+  /// Enforce the domain signs: ETC cells, sensor rates and latency limits
+  /// must be strictly positive (they are times/rates); sensor loads and
+  /// load-function coefficients must be non-negative.
+  bool requireDomainSigns = true;
+
+  /// Upper bound on every declared count (sensors, applications, edges,
+  /// machines, latency limits). A corrupt or hostile header claiming 10^9
+  /// sensors must produce a diagnostic, not a 8 GB allocation.
+  std::size_t maxDeclaredCount = 1u << 20;
+
+  /// The default-constructed policy: everything on.
+  [[nodiscard]] static constexpr InputPolicy strict() noexcept { return {}; }
+
+  /// Value checks off (structural invariants still apply). For inspecting
+  /// archives that predate the validation layer.
+  [[nodiscard]] static constexpr InputPolicy permissive() noexcept {
+    InputPolicy p;
+    p.requireFinite = false;
+    p.requireDomainSigns = false;
+    return p;
+  }
+};
+
+}  // namespace robust::core

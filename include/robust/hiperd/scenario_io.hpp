@@ -18,10 +18,19 @@
 //   latency_limits <P>     followed by P limits in path-enumeration order
 //   compute                followed by A*M lines: <app> <machine> <S coeffs>
 //   comm                   followed by E lines: <edge> <S coeffs>
+//
+// Loading is a trust boundary: the loader tracks line/column provenance
+// for every token and rejects malformed input with a structured
+// util::ParseError ("scenario:4:8: sensor rate 'nan' is not finite").
+// Structural invariants — DAG acyclicity, sensor fan-out, count
+// cross-checks — are enforced at load time; value domains (finite rates,
+// non-negative loads and coefficients) follow the core::InputPolicy.
 #pragma once
 
 #include <iosfwd>
+#include <string_view>
 
+#include "robust/core/input_policy.hpp"
 #include "robust/hiperd/system.hpp"
 
 namespace robust::hiperd {
@@ -32,8 +41,11 @@ void saveScenario(const HiperdScenario& scenario, std::ostream& os);
 
 /// Parses a scenario from `is`, finalizes the graph, validates everything
 /// (including that the stored latency-limit count matches the re-enumerated
-/// path count), and returns it. Throws InvalidArgumentError on malformed or
-/// inconsistent input.
-[[nodiscard]] HiperdScenario loadScenario(std::istream& is);
+/// path count), and returns it. Throws util::ParseError (an
+/// InvalidArgumentError) on malformed or inconsistent input, with `source`
+/// naming the input and line/column locating the offending token.
+[[nodiscard]] HiperdScenario loadScenario(std::istream& is,
+                                          std::string_view source = "scenario",
+                                          const core::InputPolicy& policy = {});
 
 }  // namespace robust::hiperd

@@ -25,6 +25,11 @@ struct RootOptions {
   int maxIterations = 200;
 };
 
+// All three routines fail fast (InvalidArgumentError naming the abscissa)
+// when the objective returns a non-finite value: NaN defeats every sign
+// test (all NaN comparisons are false), so tolerating it would silently
+// burn maxIterations and return a garbage root.
+
 /// Expands [lo, hi] geometrically until f changes sign or `limit` is hit.
 /// Returns the bracketing interval, or nullopt if no sign change was found.
 [[nodiscard]] std::optional<std::pair<double, double>> expandBracket(

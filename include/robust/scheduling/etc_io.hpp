@@ -5,10 +5,18 @@
 // Format: one header row "app,m0,m1,..." then one row per application:
 // "a<i>,<C_i0>,<C_i1>,...". Values are written with enough digits to
 // round-trip doubles exactly.
+//
+// Loading is a trust boundary: the loader tracks line/column provenance
+// and rejects malformed input with a structured util::ParseError —
+// "etc.csv:12:4: cell 'nan' is not a finite positive time" — enforcing
+// rectangularity unconditionally and the value-domain checks of the given
+// core::InputPolicy (finite, strictly positive cells by default).
 #pragma once
 
 #include <iosfwd>
+#include <string_view>
 
+#include "robust/core/input_policy.hpp"
 #include "robust/scheduling/etc.hpp"
 
 namespace robust::sched {
@@ -16,8 +24,12 @@ namespace robust::sched {
 /// Writes `etc` to `os` in the CSV format above.
 void saveEtcCsv(const EtcMatrix& etc, std::ostream& os);
 
-/// Parses an ETC matrix from `is`. Throws InvalidArgumentError on malformed
-/// input (ragged rows, non-numeric cells, empty matrix).
-[[nodiscard]] EtcMatrix loadEtcCsv(std::istream& is);
+/// Parses an ETC matrix from `is`. Throws util::ParseError (an
+/// InvalidArgumentError) on malformed input — ragged rows, non-numeric or
+/// policy-violating cells, empty matrix — with `source` naming the input
+/// in the diagnostic and the column identifying the 1-based CSV field.
+[[nodiscard]] EtcMatrix loadEtcCsv(std::istream& is,
+                                   std::string_view source = "etc.csv",
+                                   const core::InputPolicy& policy = {});
 
 }  // namespace robust::sched

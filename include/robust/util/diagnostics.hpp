@@ -1,0 +1,96 @@
+// Structured diagnostics for the external-input boundary.
+//
+// Every loader (ETC CSV, HiPer-D scenario text) parses *untrusted* bytes:
+// files written by other tools, hand-edited archives, network payloads.
+// When such input is malformed, the error must name the exact place —
+// "etc.csv:12:4: cell 'nan' is not a finite positive time" — instead of a
+// context-free strtod failure, and downstream code must be able to consume
+// the finding programmatically (source / line / column / message) rather
+// than re-parse the what() string. This header provides that vocabulary:
+//
+//   * Diagnostic   — one structured finding with provenance,
+//   * ParseError   — an InvalidArgumentError (so every existing catch site
+//                    keeps working) that carries the Diagnostic,
+//   * Diagnostics  — a per-source context the loaders thread through their
+//                    parse; fail() throws, warn() records non-fatal notes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "robust/util/error.hpp"
+
+namespace robust::util {
+
+/// One structured finding about an external input. Line and column are
+/// 1-based; 0 means "not applicable" (column 0 = whole line, line 0 =
+/// whole input). For CSV input the column is the 1-based field index; for
+/// token-oriented input it is the 1-based character offset of the token.
+struct Diagnostic {
+  std::string source;      ///< logical input name, e.g. "etc.csv"
+  std::size_t line = 0;
+  std::size_t column = 0;
+  std::string message;
+
+  /// Canonical rendering: "source:line:column: message", omitting the
+  /// position fields that are 0.
+  [[nodiscard]] std::string format() const;
+};
+
+/// Thrown by the loaders on malformed input. IS-A InvalidArgumentError, so
+/// callers that only care about "the load failed" are unaffected, while
+/// callers that relay errors to users (CLIs, services) can access the
+/// structured diagnostic.
+class ParseError : public InvalidArgumentError {
+ public:
+  explicit ParseError(Diagnostic diagnostic);
+
+  [[nodiscard]] const Diagnostic& diagnostic() const noexcept {
+    return diagnostic_;
+  }
+
+ private:
+  Diagnostic diagnostic_;
+};
+
+/// Diagnostic context bound to one named input source. Loaders create one
+/// per load and route every rejection through fail(), which guarantees the
+/// provenance fields are always populated.
+class Diagnostics {
+ public:
+  explicit Diagnostics(std::string source) : source_(std::move(source)) {}
+
+  [[nodiscard]] const std::string& source() const noexcept { return source_; }
+
+  /// Throws ParseError pinned to (line, column).
+  [[noreturn]] void fail(std::size_t line, std::size_t column,
+                         std::string message) const;
+
+  /// Throws ParseError pinned to a whole line.
+  [[noreturn]] void failLine(std::size_t line, std::string message) const {
+    fail(line, 0, std::move(message));
+  }
+
+  /// Throws ParseError about the input as a whole (e.g. truncation).
+  [[noreturn]] void failInput(std::string message) const {
+    fail(0, 0, std::move(message));
+  }
+
+  /// Records a non-fatal finding (kept for the caller to inspect).
+  void warn(std::size_t line, std::size_t column, std::string message);
+
+  [[nodiscard]] const std::vector<Diagnostic>& warnings() const noexcept {
+    return warnings_;
+  }
+
+ private:
+  std::string source_;
+  std::vector<Diagnostic> warnings_;
+};
+
+/// Formats `v` with %.17g (the same rendering the savers use), so
+/// diagnostics echo values exactly as they would round-trip.
+[[nodiscard]] std::string formatValue(double v);
+
+}  // namespace robust::util

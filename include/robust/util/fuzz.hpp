@@ -1,0 +1,74 @@
+// Deterministic byte-level mutation for the differential I/O fuzz harness
+// (tests/test_io_fuzz.cpp and bench/fuzz_roundtrip).
+//
+// The mutator takes a valid serialized artifact and damages it the way real
+// inputs get damaged: truncation, deleted/flipped bytes, and spliced-in
+// hostile tokens ("nan", "1e999", negative counts). Everything is driven by
+// the repo's own Pcg32, so a failing case is reproducible from its seed
+// alone. Header-only: the harnesses are the only consumers.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+
+#include "robust/util/rng.hpp"
+
+namespace robust::util {
+
+/// Produces a deterministically mutated copy of `text`. The result is
+/// usually malformed but occasionally still valid — callers must accept
+/// both outcomes (load success with finite values, or a structured
+/// diagnostic) and nothing else.
+inline std::string mutateBytes(const std::string& text, Pcg32& rng) {
+  // Tokens chosen to probe the numeric guards: non-finite spellings,
+  // overflow to inf, sign flips, and separators that break token shape.
+  static const char* const kSplices[] = {
+      "nan", "-nan", "inf", "-inf", "1e999", "-1e999", "NaN",
+      "-",   ",",    " ",   "0",    "-1",    "999999999999", "abc"};
+  std::string out = text;
+  const std::uint32_t op = rng.nextBounded(5);
+  const auto pos = static_cast<std::size_t>(
+      rng.nextBounded(static_cast<std::uint32_t>(out.size() + 1)));
+  switch (op) {
+    case 0:  // truncate
+      out.resize(pos);
+      break;
+    case 1:  // delete one byte
+      if (!out.empty()) {
+        out.erase(std::min(pos, out.size() - 1), 1);
+      }
+      break;
+    case 2:  // flip one byte to a random printable character
+      if (!out.empty()) {
+        out[std::min(pos, out.size() - 1)] =
+            static_cast<char>(' ' + rng.nextBounded(95));
+      }
+      break;
+    case 3: {  // splice a hostile token
+      const char* token =
+          kSplices[rng.nextBounded(sizeof(kSplices) / sizeof(kSplices[0]))];
+      out.insert(pos, token);
+      break;
+    }
+    default: {  // overwrite a whole whitespace-delimited token
+      const char* token =
+          kSplices[rng.nextBounded(sizeof(kSplices) / sizeof(kSplices[0]))];
+      std::size_t start = std::min(pos, out.empty() ? 0 : out.size() - 1);
+      while (start > 0 && out[start - 1] != ' ' && out[start - 1] != '\n' &&
+             out[start - 1] != ',') {
+        --start;
+      }
+      std::size_t end = start;
+      while (end < out.size() && out[end] != ' ' && out[end] != '\n' &&
+             out[end] != ',') {
+        ++end;
+      }
+      out.replace(start, end - start, token);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace robust::util

@@ -4,11 +4,22 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
 
 namespace robust {
+
+/// How the sample statistics treat non-finite (NaN / ±inf) samples. NaN in
+/// particular is poison for the unguarded algorithms: it breaks std::sort's
+/// strict weak ordering and its cast to a bin index is undefined behavior,
+/// so the guard is mandatory — the policy only chooses between rejecting
+/// the sample and dropping the offending values.
+enum class NonFinitePolicy {
+  Throw,  ///< reject the whole sample with a diagnostic (default)
+  Skip,   ///< drop non-finite samples, compute over the finite rest
+};
 
 /// Five-number-ish summary of a sample.
 struct Summary {
@@ -20,8 +31,11 @@ struct Summary {
   double median = 0.0;
 
   /// Coefficient of variation (stddev / mean); the paper's "heterogeneity".
+  /// Undefined for a zero mean — reports NaN rather than masquerading as
+  /// "perfectly homogeneous" 0.
   [[nodiscard]] double heterogeneity() const noexcept {
-    return mean != 0.0 ? stddev / mean : 0.0;
+    return mean != 0.0 ? stddev / mean
+                       : std::numeric_limits<double>::quiet_NaN();
   }
 };
 
@@ -55,11 +69,17 @@ struct Histogram {
   }
 };
 
-/// Builds a histogram with `bins` equal-width bins spanning the sample range.
-[[nodiscard]] Histogram makeHistogram(std::span<const double> xs,
-                                      std::size_t bins);
+/// Builds a histogram with `bins` equal-width bins spanning the sample
+/// range. Non-finite samples are rejected or dropped per `policy`; with
+/// Skip, a sample with no finite values yields an empty-range histogram.
+[[nodiscard]] Histogram makeHistogram(
+    std::span<const double> xs, std::size_t bins,
+    NonFinitePolicy policy = NonFinitePolicy::Throw);
 
-/// Sample quantile (linear interpolation between order statistics), q in [0,1].
-[[nodiscard]] double quantile(std::span<const double> xs, double q);
+/// Sample quantile (linear interpolation between order statistics), q in
+/// [0,1]. Non-finite samples are rejected or dropped per `policy`; a sample
+/// with no finite values is rejected under either policy.
+[[nodiscard]] double quantile(std::span<const double> xs, double q,
+                              NonFinitePolicy policy = NonFinitePolicy::Throw);
 
 }  // namespace robust

@@ -1,11 +1,14 @@
 #include "robust/hiperd/scenario_io.hpp"
 
+#include <cctype>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <istream>
 #include <ostream>
-#include <sstream>
 #include <string>
 
+#include "robust/util/diagnostics.hpp"
 #include "robust/util/error.hpp"
 
 namespace robust::hiperd {
@@ -24,59 +27,143 @@ const char* kindTag(NodeKind kind) {
   return "?";
 }
 
-NodeKind parseKind(const std::string& tag) {
-  if (tag == "s") {
-    return NodeKind::Sensor;
-  }
-  if (tag == "a") {
-    return NodeKind::Application;
-  }
-  if (tag == "t") {
-    return NodeKind::Actuator;
-  }
-  throw InvalidArgumentError("loadScenario: unknown node kind '" + tag + "'");
-}
-
 std::string preciseDouble(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
 }
 
-/// Reads one whitespace token; throws with context on EOF.
-std::string token(std::istream& is, const char* context) {
-  std::string t;
-  if (!(is >> t)) {
-    throw InvalidArgumentError(
-        std::string("loadScenario: unexpected end of input while reading ") +
-        context);
+/// Whitespace-delimited token reader that tracks the 1-based line and
+/// character column of every token it hands out, so each rejection can
+/// name the exact place in the input.
+class TokenReader {
+ public:
+  TokenReader(std::istream& is, const util::Diagnostics& diag,
+              const core::InputPolicy& policy)
+      : is_(is), diag_(diag), policy_(policy) {}
+
+  /// Reads one token; fails with provenance on end of input.
+  std::string next(const char* context) {
+    int c = get();
+    while (c != EOF && std::isspace(c) != 0) {
+      c = get();
+    }
+    if (c == EOF) {
+      diag_.fail(line_, column_ + 1,
+                 std::string("unexpected end of input while reading ") +
+                     context);
+    }
+    tokenLine_ = line_;
+    tokenColumn_ = column_;
+    std::string t;
+    while (c != EOF && std::isspace(c) == 0) {
+      t.push_back(static_cast<char>(c));
+      c = get();
+    }
+    return t;
   }
-  return t;
-}
 
-double numToken(std::istream& is, const char* context) {
-  const std::string t = token(is, context);
-  char* end = nullptr;
-  const double v = std::strtod(t.c_str(), &end);
-  ROBUST_REQUIRE(end != t.c_str() && *end == '\0',
-                 std::string("loadScenario: expected a number for ") +
-                     context + ", got '" + t + "'");
-  return v;
-}
+  /// Reads a numeric token and applies the finiteness policy.
+  double number(const char* context) {
+    const std::string t = next(context);
+    char* end = nullptr;
+    const double v = std::strtod(t.c_str(), &end);
+    if (end == t.c_str() || *end != '\0') {
+      fail(std::string(context) + " '" + t + "' is not a number");
+    }
+    if (policy_.requireFinite && !std::isfinite(v)) {
+      fail(std::string(context) + " '" + t + "' is not finite");
+    }
+    return v;
+  }
 
-std::size_t sizeToken(std::istream& is, const char* context) {
-  const double v = numToken(is, context);
-  ROBUST_REQUIRE(v >= 0.0 && v == static_cast<double>(
-                                      static_cast<std::size_t>(v)),
-                 std::string("loadScenario: expected a count for ") + context);
-  return static_cast<std::size_t>(v);
-}
+  /// number() plus a non-negativity domain check (under the policy).
+  double nonNegative(const char* context) {
+    const double v = number(context);
+    if (policy_.requireDomainSigns && v < 0.0) {
+      fail(std::string(context) + " '" + util::formatValue(v) +
+           "' is negative");
+    }
+    return v;
+  }
 
-void expectKeyword(std::istream& is, const std::string& keyword) {
-  const std::string t = token(is, keyword.c_str());
-  ROBUST_REQUIRE(t == keyword, "loadScenario: expected '" + keyword +
-                                   "', got '" + t + "'");
-}
+  /// number() plus a strict-positivity domain check (under the policy).
+  double positive(const char* context) {
+    const double v = number(context);
+    if (policy_.requireDomainSigns && !(v > 0.0)) {
+      fail(std::string(context) + " '" + util::formatValue(v) +
+           "' is not a finite positive value");
+    }
+    return v;
+  }
+
+  /// Reads a count; always bounded by the policy cap so a corrupt header
+  /// cannot trigger a giant allocation or a near-endless parse loop.
+  std::size_t count(const char* context) {
+    const std::string t = next(context);
+    char* end = nullptr;
+    const double v = std::strtod(t.c_str(), &end);
+    const bool integral = end != t.c_str() && *end == '\0' && v >= 0.0 &&
+                          std::isfinite(v) &&
+                          v == static_cast<double>(static_cast<std::size_t>(v));
+    if (!integral) {
+      fail(std::string(context) + " '" + t + "' is not a count");
+    }
+    const auto n = static_cast<std::size_t>(v);
+    if (n > policy_.maxDeclaredCount) {
+      fail(std::string(context) + " " + t + " is above the policy cap of " +
+           std::to_string(policy_.maxDeclaredCount));
+    }
+    return n;
+  }
+
+  void keyword(const char* expected) {
+    const std::string t = next(expected);
+    if (t != expected) {
+      fail(std::string("expected '") + expected + "', got '" + t + "'");
+    }
+  }
+
+  NodeKind kind(const char* context) {
+    const std::string t = next(context);
+    if (t == "s") {
+      return NodeKind::Sensor;
+    }
+    if (t == "a") {
+      return NodeKind::Application;
+    }
+    if (t == "t") {
+      return NodeKind::Actuator;
+    }
+    fail(std::string("unknown node kind '") + t + "' for " + context +
+         " (expected s, a, or t)");
+  }
+
+  /// Fails at the start of the most recently read token.
+  [[noreturn]] void fail(std::string message) const {
+    diag_.fail(tokenLine_, tokenColumn_, std::move(message));
+  }
+
+ private:
+  int get() {
+    const int c = is_.get();
+    if (c == '\n') {
+      ++line_;
+      column_ = 0;
+    } else if (c != EOF) {
+      ++column_;
+    }
+    return c;
+  }
+
+  std::istream& is_;
+  const util::Diagnostics& diag_;
+  const core::InputPolicy& policy_;
+  std::size_t line_ = 1;
+  std::size_t column_ = 0;  ///< characters consumed on the current line
+  std::size_t tokenLine_ = 1;
+  std::size_t tokenColumn_ = 1;
+};
 
 }  // namespace
 
@@ -146,95 +233,129 @@ void saveScenario(const HiperdScenario& scenario, std::ostream& os) {
   }
 }
 
-HiperdScenario loadScenario(std::istream& is) {
-  expectKeyword(is, "hiperd-scenario");
-  expectKeyword(is, "v1");
+HiperdScenario loadScenario(std::istream& is, std::string_view source,
+                            const core::InputPolicy& policy) {
+  const util::Diagnostics diag{std::string(source)};
+  TokenReader in(is, diag, policy);
+  in.keyword("hiperd-scenario");
+  in.keyword("v1");
 
   HiperdScenario scenario;
   SystemGraph& g = scenario.graph;
 
-  expectKeyword(is, "sensors");
-  const std::size_t sensors = sizeToken(is, "sensor count");
+  in.keyword("sensors");
+  const std::size_t sensors = in.count("sensor count");
   for (std::size_t s = 0; s < sensors; ++s) {
-    const std::string name = token(is, "sensor name");
-    const double rate = numToken(is, "sensor rate");
+    const std::string name = in.next("sensor name");
+    // Rates are periodic output data rates; zero or negative would make
+    // every throughput bound infinite or negative downstream.
+    const double rate = in.positive("sensor rate");
     g.addSensor(name, rate);
   }
-  expectKeyword(is, "applications");
-  const std::size_t apps = sizeToken(is, "application count");
+  in.keyword("applications");
+  const std::size_t apps = in.count("application count");
   for (std::size_t a = 0; a < apps; ++a) {
-    g.addApplication(token(is, "application name"));
+    g.addApplication(in.next("application name"));
   }
-  expectKeyword(is, "actuators");
-  const std::size_t actuators = sizeToken(is, "actuator count");
+  in.keyword("actuators");
+  const std::size_t actuators = in.count("actuator count");
   for (std::size_t t = 0; t < actuators; ++t) {
-    g.addActuator(token(is, "actuator name"));
+    g.addActuator(in.next("actuator name"));
   }
-  expectKeyword(is, "edges");
-  const std::size_t edges = sizeToken(is, "edge count");
+  in.keyword("edges");
+  const std::size_t edges = in.count("edge count");
   for (std::size_t e = 0; e < edges; ++e) {
-    const NodeKind fromKind = parseKind(token(is, "edge source kind"));
-    const auto fromIndex = sizeToken(is, "edge source index");
-    const NodeKind toKind = parseKind(token(is, "edge target kind"));
-    const auto toIndex = sizeToken(is, "edge target index");
-    const auto trigger = sizeToken(is, "edge trigger flag");
-    ROBUST_REQUIRE(trigger <= 1, "loadScenario: trigger flag must be 0 or 1");
-    g.addEdge(NodeRef{fromKind, fromIndex}, NodeRef{toKind, toIndex},
-              trigger == 1);
+    const NodeKind fromKind = in.kind("edge source kind");
+    const auto fromIndex = in.count("edge source index");
+    const NodeKind toKind = in.kind("edge target kind");
+    const auto toIndex = in.count("edge target index");
+    const auto trigger = in.count("edge trigger flag");
+    if (trigger > 1) {
+      in.fail("edge trigger flag must be 0 or 1");
+    }
+    try {
+      g.addEdge(NodeRef{fromKind, fromIndex}, NodeRef{toKind, toIndex},
+                trigger == 1);
+    } catch (const util::ParseError&) {
+      throw;
+    } catch (const InvalidArgumentError& err) {
+      in.fail(std::string("invalid edge: ") + err.what());
+    }
   }
-  g.finalize();
+  // Structural invariants — acyclicity, sensor fan-out, reachability — are
+  // enforced here, at the boundary, so nothing cyclic or dangling survives
+  // into analysis. Re-attribute the graph's own message to the input.
+  try {
+    g.finalize();
+  } catch (const InvalidArgumentError& err) {
+    diag.failInput(std::string("invalid scenario structure: ") + err.what());
+  }
 
-  expectKeyword(is, "machines");
-  scenario.machines = sizeToken(is, "machine count");
+  in.keyword("machines");
+  scenario.machines = in.count("machine count");
 
-  expectKeyword(is, "lambda");
+  in.keyword("lambda");
   scenario.lambdaOrig.resize(sensors);
   for (std::size_t s = 0; s < sensors; ++s) {
-    scenario.lambdaOrig[s] = numToken(is, "lambda component");
+    // Sensor loads are object counts; negative loads are meaningless.
+    scenario.lambdaOrig[s] = in.nonNegative("lambda component");
   }
 
-  expectKeyword(is, "latency_limits");
-  const std::size_t limits = sizeToken(is, "latency limit count");
-  ROBUST_REQUIRE(limits == g.paths().size(),
-                 "loadScenario: stored latency-limit count does not match "
-                 "the re-enumerated path count");
+  in.keyword("latency_limits");
+  const std::size_t limits = in.count("latency limit count");
+  if (limits != g.paths().size()) {
+    in.fail("stored latency-limit count " + std::to_string(limits) +
+            " does not match the re-enumerated path count " +
+            std::to_string(g.paths().size()));
+  }
   scenario.latencyLimits.resize(limits);
   for (std::size_t k = 0; k < limits; ++k) {
-    scenario.latencyLimits[k] = numToken(is, "latency limit");
+    scenario.latencyLimits[k] = in.positive("latency limit");
   }
 
-  expectKeyword(is, "compute");
+  in.keyword("compute");
   scenario.compute.assign(apps, {});
   for (std::size_t a = 0; a < apps; ++a) {
     scenario.compute[a].reserve(scenario.machines);
   }
   for (std::size_t row = 0; row < apps * scenario.machines; ++row) {
-    const std::size_t a = sizeToken(is, "compute app index");
-    const std::size_t m = sizeToken(is, "compute machine index");
-    ROBUST_REQUIRE(a < apps && m < scenario.machines,
-                   "loadScenario: compute index out of range");
-    ROBUST_REQUIRE(scenario.compute[a].size() == m,
-                   "loadScenario: compute rows out of order");
+    const std::size_t a = in.count("compute app index");
+    const std::size_t m = in.count("compute machine index");
+    if (a >= apps || m >= scenario.machines) {
+      in.fail("compute index (" + std::to_string(a) + ", " +
+              std::to_string(m) + ") out of range");
+    }
+    if (scenario.compute[a].size() != m) {
+      in.fail("compute rows out of order at app " + std::to_string(a) +
+              ", machine " + std::to_string(m));
+    }
     num::Vec coeffs(sensors);
     for (std::size_t s = 0; s < sensors; ++s) {
-      coeffs[s] = numToken(is, "compute coefficient");
+      coeffs[s] = in.nonNegative("compute coefficient");
     }
     scenario.compute[a].push_back(LoadFunction::linear(std::move(coeffs)));
   }
 
-  expectKeyword(is, "comm");
+  in.keyword("comm");
   scenario.comm.reserve(edges);
   for (std::size_t e = 0; e < edges; ++e) {
-    const std::size_t id = sizeToken(is, "comm edge index");
-    ROBUST_REQUIRE(id == e, "loadScenario: comm rows out of order");
+    const std::size_t id = in.count("comm edge index");
+    if (id != e) {
+      in.fail("comm rows out of order: expected edge " + std::to_string(e) +
+              ", got " + std::to_string(id));
+    }
     num::Vec coeffs(sensors);
     for (std::size_t s = 0; s < sensors; ++s) {
-      coeffs[s] = numToken(is, "comm coefficient");
+      coeffs[s] = in.nonNegative("comm coefficient");
     }
     scenario.comm.push_back(LoadFunction::linear(std::move(coeffs)));
   }
 
-  validateScenario(scenario);
+  try {
+    validateScenario(scenario);
+  } catch (const InvalidArgumentError& err) {
+    diag.failInput(std::string("inconsistent scenario: ") + err.what());
+  }
   return scenario;
 }
 

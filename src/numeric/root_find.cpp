@@ -2,20 +2,41 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
+#include <string>
 #include <utility>
 
 #include "robust/util/error.hpp"
 
 namespace robust::num {
 
+namespace {
+
+/// Evaluates f(x) and fails fast on a non-finite result. Without this
+/// guard a NaN objective silently defeats every sign test below (all NaN
+/// comparisons are false), so the loops burn maxIterations and return a
+/// garbage root instead of reporting the broken objective.
+double checkedEval(const ScalarFn1D& f, double x, const char* who) {
+  const double fx = f(x);
+  if (!std::isfinite(fx)) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s: objective returned non-finite %g at x = %.17g",
+                  who, fx, x);
+    ROBUST_REQUIRE(false, std::string(buf));
+  }
+  return fx;
+}
+
+}  // namespace
+
 std::optional<std::pair<double, double>> expandBracket(const ScalarFn1D& f,
                                                        double lo, double hi,
                                                        double limit,
                                                        int maxDoublings) {
   ROBUST_REQUIRE(hi > lo, "expandBracket: hi must exceed lo");
-  double flo = f(lo);
-  double fhi = f(hi);
+  double flo = checkedEval(f, lo, "expandBracket");
+  double fhi = checkedEval(f, hi, "expandBracket");
   for (int i = 0; i < maxDoublings; ++i) {
     if (flo == 0.0) {
       return std::make_pair(lo, lo);
@@ -30,20 +51,20 @@ std::optional<std::pair<double, double>> expandBracket(const ScalarFn1D& f,
     lo = hi;
     flo = fhi;
     hi = std::min(limit, hi + 2.0 * width);
-    fhi = f(hi);
+    fhi = checkedEval(f, hi, "expandBracket");
   }
   return std::nullopt;
 }
 
 RootResult bisect(const ScalarFn1D& f, double lo, double hi,
                   const RootOptions& options) {
-  double flo = f(lo);
-  double fhi = f(hi);
+  double flo = checkedEval(f, lo, "bisect");
+  double fhi = checkedEval(f, hi, "bisect");
   ROBUST_REQUIRE(flo * fhi <= 0.0, "bisect: interval does not bracket a root");
   RootResult result;
   for (int i = 0; i < options.maxIterations; ++i) {
     const double mid = 0.5 * (lo + hi);
-    const double fmid = f(mid);
+    const double fmid = checkedEval(f, mid, "bisect");
     ++result.iterations;
     if (std::fabs(fmid) <= options.fTol || (hi - lo) * 0.5 <= options.xTol) {
       result.x = mid;
@@ -59,7 +80,7 @@ RootResult bisect(const ScalarFn1D& f, double lo, double hi,
     }
   }
   result.x = 0.5 * (lo + hi);
-  result.fx = f(result.x);
+  result.fx = checkedEval(f, result.x, "bisect");
   return result;
 }
 
@@ -68,8 +89,8 @@ RootResult brent(const ScalarFn1D& f, double lo, double hi,
   double a = lo;
   double b = hi;
   double c = hi;
-  double fa = f(a);
-  double fb = f(b);
+  double fa = checkedEval(f, a, "brent");
+  double fb = checkedEval(f, b, "brent");
   ROBUST_REQUIRE(fa * fb <= 0.0, "brent: interval does not bracket a root");
   double fc = fb;
   double d = b - a;
@@ -141,7 +162,7 @@ RootResult brent(const ScalarFn1D& f, double lo, double hi,
     } else {
       b += xm > 0.0 ? tol1 : -tol1;
     }
-    fb = f(b);
+    fb = checkedEval(f, b, "brent");
   }
   result.x = b;
   result.fx = fb;

@@ -1,14 +1,14 @@
 #include "robust/scheduling/etc_io.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <istream>
 #include <ostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "robust/util/error.hpp"
+#include "robust/util/diagnostics.hpp"
 
 namespace robust::sched {
 
@@ -47,40 +47,77 @@ std::vector<std::string> splitCsvLine(const std::string& line) {
   return cells;
 }
 
-double parseCell(const std::string& cell) {
+/// Parses one data cell at (line, field) and applies the value policy.
+double parseCell(const std::string& cell, const util::Diagnostics& diag,
+                 std::size_t line, std::size_t field,
+                 const core::InputPolicy& policy) {
   char* end = nullptr;
   const double v = std::strtod(cell.c_str(), &end);
-  ROBUST_REQUIRE(end != cell.c_str() && *end == '\0',
-                 "loadEtcCsv: non-numeric cell '" + cell + "'");
+  if (end == cell.c_str() || *end != '\0') {
+    diag.fail(line, field, "cell '" + cell + "' is not a number");
+  }
+  if (policy.requireFinite && !std::isfinite(v)) {
+    diag.fail(line, field, "cell '" + cell + "' is not a finite positive time");
+  }
+  if (policy.requireDomainSigns && !(v > 0.0)) {
+    diag.fail(line, field,
+              "cell '" + cell + "' is not a positive time (ETC entries are "
+              "execution times)");
+  }
   return v;
 }
 
 }  // namespace
 
-EtcMatrix loadEtcCsv(std::istream& is) {
+EtcMatrix loadEtcCsv(std::istream& is, std::string_view source,
+                     const core::InputPolicy& policy) {
+  util::Diagnostics diag{std::string(source)};
   std::string line;
-  ROBUST_REQUIRE(static_cast<bool>(std::getline(is, line)),
-                 "loadEtcCsv: empty input");
+  if (!std::getline(is, line)) {
+    diag.failInput("empty input (expected an 'app,m0,...' header)");
+  }
+  std::size_t lineNo = 1;
   const auto header = splitCsvLine(line);
-  ROBUST_REQUIRE(header.size() >= 2 && header[0] == "app",
-                 "loadEtcCsv: malformed header");
+  if (header.size() < 2 || header[0] != "app") {
+    diag.failLine(lineNo,
+                  "malformed header '" + line +
+                      "' (expected 'app,m0,m1,...' with at least one machine "
+                      "column)");
+  }
   const std::size_t machines = header.size() - 1;
+  if (machines > policy.maxDeclaredCount) {
+    diag.failLine(lineNo, "header declares " + std::to_string(machines) +
+                              " machine columns, above the policy cap of " +
+                              std::to_string(policy.maxDeclaredCount));
+  }
 
   std::vector<std::vector<double>> rows;
   while (std::getline(is, line)) {
-    if (line.empty()) {
+    ++lineNo;
+    if (line.empty() || line == "\r") {
       continue;
     }
     const auto cells = splitCsvLine(line);
-    ROBUST_REQUIRE(cells.size() == machines + 1,
-                   "loadEtcCsv: ragged row '" + line + "'");
+    if (cells.size() != machines + 1) {
+      diag.failLine(lineNo, "ragged row: expected " +
+                                std::to_string(machines + 1) + " cells, got " +
+                                std::to_string(cells.size()));
+    }
+    if (rows.size() == policy.maxDeclaredCount) {
+      diag.failLine(lineNo, "more than " +
+                                std::to_string(policy.maxDeclaredCount) +
+                                " application rows, above the policy cap");
+    }
     std::vector<double> row(machines);
     for (std::size_t j = 0; j < machines; ++j) {
-      row[j] = parseCell(cells[j + 1]);
+      // Column = 1-based CSV field index; the label cell is field 1.
+      row[j] = parseCell(cells[j + 1], diag, lineNo, j + 2, policy);
     }
     rows.push_back(std::move(row));
   }
-  ROBUST_REQUIRE(!rows.empty(), "loadEtcCsv: no application rows");
+  if (rows.empty()) {
+    diag.failInput("no application rows after the header");
+  }
 
   EtcMatrix etc(rows.size(), machines);
   for (std::size_t i = 0; i < rows.size(); ++i) {

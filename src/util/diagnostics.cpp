@@ -1,0 +1,43 @@
+#include "robust/util/diagnostics.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace robust::util {
+
+std::string Diagnostic::format() const {
+  std::string out = source;
+  if (line > 0) {
+    out += ':';
+    out += std::to_string(line);
+    if (column > 0) {
+      out += ':';
+      out += std::to_string(column);
+    }
+  }
+  out += ": ";
+  out += message;
+  return out;
+}
+
+ParseError::ParseError(Diagnostic diagnostic)
+    : InvalidArgumentError(diagnostic.format()),
+      diagnostic_(std::move(diagnostic)) {}
+
+void Diagnostics::fail(std::size_t line, std::size_t column,
+                       std::string message) const {
+  throw ParseError(Diagnostic{source_, line, column, std::move(message)});
+}
+
+void Diagnostics::warn(std::size_t line, std::size_t column,
+                       std::string message) {
+  warnings_.push_back(Diagnostic{source_, line, column, std::move(message)});
+}
+
+std::string formatValue(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace robust::util

@@ -108,17 +108,48 @@ LinearFit fitLine(std::span<const double> xs, std::span<const double> ys) {
   return fit;
 }
 
-Histogram makeHistogram(std::span<const double> xs, std::size_t bins) {
+namespace {
+
+/// Enforces the non-finite policy: under Throw the first offending sample
+/// fails fast with its index and value; under Skip the finite samples are
+/// copied out. NaN must never reach the unguarded code below — it breaks
+/// std::sort's strict weak ordering, and casting it to a bin index is
+/// undefined behavior.
+std::vector<double> guardedCopy(std::span<const double> xs,
+                                NonFinitePolicy policy, const char* who) {
+  std::vector<double> finite;
+  finite.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (std::isfinite(xs[i])) {
+      finite.push_back(xs[i]);
+      continue;
+    }
+    ROBUST_REQUIRE(policy == NonFinitePolicy::Skip,
+                   std::string(who) + ": sample " + std::to_string(i) +
+                       " is non-finite (" +
+                       (std::isnan(xs[i])  ? "nan"
+                        : xs[i] > 0.0      ? "inf"
+                                           : "-inf") +
+                       "); pass NonFinitePolicy::Skip to drop such samples");
+  }
+  return finite;
+}
+
+}  // namespace
+
+Histogram makeHistogram(std::span<const double> xs, std::size_t bins,
+                        NonFinitePolicy policy) {
   ROBUST_REQUIRE(bins > 0, "makeHistogram: bins must be positive");
+  const std::vector<double> finite = guardedCopy(xs, policy, "makeHistogram");
   Histogram h;
   h.counts.assign(bins, 0);
-  if (xs.empty()) {
+  if (finite.empty()) {
     return h;
   }
-  h.lo = *std::min_element(xs.begin(), xs.end());
-  h.hi = *std::max_element(xs.begin(), xs.end());
+  h.lo = *std::min_element(finite.begin(), finite.end());
+  h.hi = *std::max_element(finite.begin(), finite.end());
   const double width = h.hi - h.lo;
-  for (double x : xs) {
+  for (double x : finite) {
     std::size_t bin =
         width > 0.0
             ? static_cast<std::size_t>((x - h.lo) / width *
@@ -130,10 +161,12 @@ Histogram makeHistogram(std::span<const double> xs, std::size_t bins) {
   return h;
 }
 
-double quantile(std::span<const double> xs, double q) {
+double quantile(std::span<const double> xs, double q, NonFinitePolicy policy) {
   ROBUST_REQUIRE(!xs.empty(), "quantile: empty sample");
   ROBUST_REQUIRE(q >= 0.0 && q <= 1.0, "quantile: q must lie in [0,1]");
-  std::vector<double> sorted(xs.begin(), xs.end());
+  std::vector<double> sorted = guardedCopy(xs, policy, "quantile");
+  ROBUST_REQUIRE(!sorted.empty(),
+                 "quantile: no finite samples remain after skipping");
   std::sort(sorted.begin(), sorted.end());
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto loIdx = static_cast<std::size_t>(pos);

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
+#include "robust/core/input_policy.hpp"
 #include "robust/hiperd/generator.hpp"
 #include "robust/hiperd/scenario_io.hpp"
+#include "robust/util/diagnostics.hpp"
 #include "robust/util/error.hpp"
 
 namespace robust::hiperd {
@@ -87,6 +90,77 @@ TEST(ScenarioIo, RejectsMalformedInput) {
     std::stringstream truncated(text.substr(0, text.size() / 2));
     EXPECT_THROW((void)loadScenario(truncated), InvalidArgumentError);
   }
+}
+
+// The reader tracks the 1-based line and column of every token, so each
+// rejection names the exact offending place in the input.
+TEST(ScenarioIo, DiagnosticCarriesTokenProvenance) {
+  std::stringstream s("hiperd-scenario v9\n");
+  try {
+    (void)loadScenario(s);
+    FAIL() << "expected a throw";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.diagnostic().format(),
+              "scenario:1:17: expected 'v1', got 'v9'");
+  }
+}
+
+TEST(ScenarioIo, NonFiniteRateDiagnosticNamesLineAndColumn) {
+  std::stringstream s("hiperd-scenario v1\nsensors 1\nn0 nan\n");
+  try {
+    (void)loadScenario(s, "fleet.scenario");
+    FAIL() << "expected a throw";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.diagnostic().format(),
+              "fleet.scenario:3:4: sensor rate 'nan' is not finite");
+    EXPECT_EQ(e.diagnostic().line, 3u);
+    EXPECT_EQ(e.diagnostic().column, 4u);
+  }
+}
+
+TEST(ScenarioIo, NegativeRateDiagnosticShowsValue) {
+  std::stringstream s("hiperd-scenario v1\nsensors 1\nn0 -2.5\n");
+  try {
+    (void)loadScenario(s);
+    FAIL() << "expected a throw";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(
+        e.diagnostic().format(),
+        "scenario:3:4: sensor rate '-2.5' is not a finite positive value");
+  }
+}
+
+TEST(ScenarioIo, TruncationDiagnosticNamesMissingField) {
+  std::stringstream s("hiperd-scenario v1\nsensors 2\nn0 1.0\n");
+  try {
+    (void)loadScenario(s);
+    FAIL() << "expected a throw";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(
+        e.diagnostic().format(),
+        "scenario:4:1: unexpected end of input while reading sensor name");
+  }
+}
+
+TEST(ScenarioIo, HostileCountIsCappedNotAllocated) {
+  // A corrupt header claiming 10^12 sensors must produce a diagnostic, not
+  // a giant allocation or a near-endless token loop.
+  std::stringstream s("hiperd-scenario v1\nsensors 999999999999\n");
+  try {
+    (void)loadScenario(s);
+    FAIL() << "expected a throw";
+  } catch (const util::ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("above the policy cap"), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioIo, PermissivePolicyStillEnforcesStructure) {
+  // Value checks can be relaxed for forensic loads, but a structurally
+  // broken file (here: truncated) is rejected under any policy.
+  std::stringstream s("hiperd-scenario v1\nsensors 1\nn0 nan\n");
+  EXPECT_THROW((void)loadScenario(s, "x", core::InputPolicy::permissive()),
+               InvalidArgumentError);
 }
 
 TEST(ScenarioIo, RejectsTamperedLimitCount) {

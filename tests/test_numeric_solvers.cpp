@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "robust/numeric/differentiation.hpp"
 #include "robust/numeric/optimize.hpp"
@@ -57,6 +59,51 @@ TEST(RootFind, ExpandBracketFindsSignChange) {
 TEST(RootFind, ExpandBracketGivesUpAtLimit) {
   auto f = [](double) { return 1.0; };
   EXPECT_FALSE(expandBracket(f, 0.0, 1.0, 1e3).has_value());
+}
+
+TEST(RootFind, NonFiniteObjectiveFailsFastEverywhere) {
+  // A NaN objective must raise a structured error immediately instead of
+  // being folded into sign tests (NaN comparisons are all false, which
+  // silently mis-steers bisection and bracket expansion).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  auto nanAlways = [=](double) { return nan; };
+  EXPECT_THROW((void)expandBracket(nanAlways, 0.0, 1.0, 1e3),
+               InvalidArgumentError);
+  EXPECT_THROW((void)bisect(nanAlways, -1.0, 1.0), InvalidArgumentError);
+  EXPECT_THROW((void)brent(nanAlways, -1.0, 1.0), InvalidArgumentError);
+}
+
+TEST(RootFind, NonFiniteMidEvaluationFailsFast) {
+  // Finite and correctly bracketing at the endpoints, NaN in the interior:
+  // the guard must fire at the first poisoned interior evaluation.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  auto poisoned = [=](double x) {
+    return (x > 0.4 && x < 0.6) ? nan : x - 0.5;
+  };
+  EXPECT_THROW((void)bisect(poisoned, 0.0, 1.0), InvalidArgumentError);
+  EXPECT_THROW((void)brent(poisoned, 0.0, 1.0), InvalidArgumentError);
+}
+
+TEST(RootFind, NonFiniteDiagnosticNamesRoutineAndPoint) {
+  auto infAt = [](double x) {
+    return x >= 1.0 ? std::numeric_limits<double>::infinity() : x - 2.0;
+  };
+  try {
+    (void)bisect(infAt, 0.0, 1.0);
+    FAIL() << "expected a throw";
+  } catch (const InvalidArgumentError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bisect"), std::string::npos) << what;
+    EXPECT_NE(what.find("non-finite"), std::string::npos) << what;
+  }
+}
+
+TEST(RootFind, InfiniteObjectiveAlsoRejected) {
+  const double inf = std::numeric_limits<double>::infinity();
+  auto infAlways = [=](double) { return inf; };
+  EXPECT_THROW((void)expandBracket(infAlways, 0.0, 1.0, 1e3),
+               InvalidArgumentError);
+  EXPECT_THROW((void)brent(infAlways, -1.0, 1.0), InvalidArgumentError);
 }
 
 // A property sweep: Brent solves g(x) = x^p - c for assorted p, c.

@@ -6,9 +6,11 @@
 #include <sstream>
 #include <vector>
 
+#include "robust/core/input_policy.hpp"
 #include "robust/random/distributions.hpp"
 #include "robust/scheduling/etc.hpp"
 #include "robust/scheduling/etc_io.hpp"
+#include "robust/util/diagnostics.hpp"
 #include "robust/util/error.hpp"
 #include "robust/util/stats.hpp"
 
@@ -249,6 +251,68 @@ TEST(EtcIo, RejectsMalformedInput) {
     std::stringstream s("app,m0\n");  // no rows
     EXPECT_THROW((void)sched::loadEtcCsv(s), InvalidArgumentError);
   }
+}
+
+// The loader's errors must carry source:line:column provenance so a bad
+// cell in a 400x40 CSV is findable without bisecting the file by hand.
+TEST(EtcIo, DiagnosticCarriesLineAndColumnProvenance) {
+  std::stringstream s("app,m0,m1\na0,1.5,nan\n");
+  try {
+    (void)sched::loadEtcCsv(s);
+    FAIL() << "expected a throw";
+  } catch (const util::ParseError& e) {
+    // Data row 1 is line 2; the label is field 1, so the second data cell
+    // is field 3.
+    EXPECT_EQ(e.diagnostic().format(),
+              "etc.csv:2:3: cell 'nan' is not a finite positive time");
+    EXPECT_EQ(e.diagnostic().source, "etc.csv");
+    EXPECT_EQ(e.diagnostic().line, 2u);
+    EXPECT_EQ(e.diagnostic().column, 3u);
+  }
+}
+
+TEST(EtcIo, DiagnosticUsesCallerProvidedSourceName) {
+  std::stringstream s("app,m0\na0,-4\n");
+  try {
+    (void)sched::loadEtcCsv(s, "runs/trial7.csv");
+    FAIL() << "expected a throw";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.diagnostic().format(),
+              "runs/trial7.csv:2:2: cell '-4' is not a positive time (ETC "
+              "entries are execution times)");
+  }
+}
+
+TEST(EtcIo, RaggedRowDiagnosticNamesTheLine) {
+  std::stringstream s("app,m0,m1\na0,1.0,2.0\na1,3.0\n");
+  try {
+    (void)sched::loadEtcCsv(s);
+    FAIL() << "expected a throw";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.diagnostic().format(),
+              "etc.csv:3: ragged row: expected 3 cells, got 2");
+  }
+}
+
+TEST(EtcIo, PermissivePolicyAdmitsNonFiniteCells) {
+  // The permissive policy exists for forensic re-loading of damaged
+  // artifacts; it relaxes value checks but never structural ones.
+  std::stringstream s("app,m0,m1\na0,inf,2.0\n");
+  const auto etc = sched::loadEtcCsv(s, "etc.csv", core::InputPolicy::permissive());
+  EXPECT_TRUE(std::isinf(etc(0, 0)));
+  EXPECT_DOUBLE_EQ(etc(0, 1), 2.0);
+  std::stringstream ragged("app,m0,m1\na0,1.0\n");
+  EXPECT_THROW(
+      (void)sched::loadEtcCsv(ragged, "etc.csv", core::InputPolicy::permissive()),
+      InvalidArgumentError);
+}
+
+TEST(EtcIo, PolicyCapRejectsHostileHeader) {
+  core::InputPolicy tight;
+  tight.maxDeclaredCount = 4;
+  std::stringstream s("app,m0,m1,m2,m3,m4,m5\na0,1,1,1,1,1,1\n");
+  EXPECT_THROW((void)sched::loadEtcCsv(s, "etc.csv", tight),
+               InvalidArgumentError);
 }
 
 TEST(EtcIo, SkipsBlankLinesAndCarriageReturns) {

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <vector>
@@ -221,6 +222,72 @@ TEST(Stats, QuantileValidation) {
   EXPECT_THROW((void)quantile({}, 0.5), InvalidArgumentError);
   const std::vector<double> xs = {1.0};
   EXPECT_THROW((void)quantile(xs, 1.5), InvalidArgumentError);
+}
+
+TEST(Stats, HeterogeneityZeroMeanIsNaN) {
+  // A zero-mean sample has no meaningful coefficient of variation; the old
+  // behavior silently returned 0.0, masking the degenerate case.
+  const std::vector<double> xs = {-1.0, 1.0};
+  EXPECT_TRUE(std::isnan(summarize(xs).heterogeneity()));
+  const std::vector<double> zeros = {0.0, 0.0, 0.0};
+  EXPECT_TRUE(std::isnan(summarize(zeros).heterogeneity()));
+  EXPECT_TRUE(std::isnan(Summary{}.heterogeneity()));
+}
+
+TEST(Stats, HistogramThrowsOnNonFiniteByDefault) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> withNan = {1.0, nan, 3.0};
+  const std::vector<double> withInf = {1.0, inf, 3.0};
+  const std::vector<double> withNegInf = {-inf, 1.0};
+  EXPECT_THROW((void)makeHistogram(withNan, 4), InvalidArgumentError);
+  EXPECT_THROW((void)makeHistogram(withInf, 4), InvalidArgumentError);
+  EXPECT_THROW((void)makeHistogram(withNegInf, 4), InvalidArgumentError);
+  try {
+    (void)makeHistogram(withNan, 4);
+    FAIL() << "expected a throw";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("sample 1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("nan"), std::string::npos);
+  }
+}
+
+TEST(Stats, HistogramSkipPolicyDropsNonFinite) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> xs = {0.0, nan, 0.5, inf, 1.0, -inf};
+  const Histogram h = makeHistogram(xs, 2, NonFinitePolicy::Skip);
+  EXPECT_EQ(h.counts[0] + h.counts[1], 3u);
+  EXPECT_DOUBLE_EQ(h.lo, 0.0);
+  EXPECT_DOUBLE_EQ(h.hi, 1.0);
+  // All-non-finite input degrades to an empty, zeroed histogram.
+  const std::vector<double> allBad = {nan, inf, -inf};
+  const Histogram empty = makeHistogram(allBad, 3, NonFinitePolicy::Skip);
+  for (auto c : empty.counts) {
+    EXPECT_EQ(c, 0u);
+  }
+}
+
+TEST(Stats, QuantileThrowsOnNonFiniteByDefault) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> withNan = {2.0, nan, 1.0};
+  const std::vector<double> withInf = {2.0, -inf, 1.0};
+  EXPECT_THROW((void)quantile(withNan, 0.5), InvalidArgumentError);
+  EXPECT_THROW((void)quantile(withInf, 0.5), InvalidArgumentError);
+}
+
+TEST(Stats, QuantileSkipPolicyUsesFiniteSubset) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> xs = {3.0, nan, 1.0, inf, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0, NonFinitePolicy::Skip), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0, NonFinitePolicy::Skip), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5, NonFinitePolicy::Skip), 2.5);
+  // Skipping everything leaves no sample to interpolate: structured throw.
+  const std::vector<double> allBad = {nan, nan};
+  EXPECT_THROW((void)quantile(allBad, 0.5, NonFinitePolicy::Skip),
+               InvalidArgumentError);
 }
 
 // ---------------------------------------------------------------- table
