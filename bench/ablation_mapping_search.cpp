@@ -12,10 +12,16 @@
 // analysis is not expressible as machine-load deltas.
 //
 // Run: ./ablation_mapping_search [--seed S] [--random N] [--iters N]
+//                                 [--report PATH]
+//
+// --report writes the result rows (plus the obs metrics snapshot when
+// ROBUST_OBS is on) as a robust.run_report JSON document.
 #include <algorithm>
 #include <iostream>
+#include <string>
 
 #include "robust/hiperd/experiment.hpp"
+#include "robust/obs/report.hpp"
 #include "robust/scheduling/heuristics.hpp"
 #include "robust/scheduling/independent_system.hpp"
 #include "robust/util/args.hpp"
@@ -27,6 +33,17 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 2003));
   const auto randomCount =
       static_cast<std::size_t>(args.getInt("random", 300));
+  const std::string reportPath = args.getString("report", "");
+
+  obs::RunReport runReport;
+  runReport.tool = "ablation_mapping_search";
+  runReport.info.emplace_back("seed", std::to_string(seed));
+  runReport.info.emplace_back("random_mappings", std::to_string(randomCount));
+  const auto record = [&runReport](std::string name, double value,
+                                   const char* unit) {
+    runReport.benchmarks.push_back(
+        obs::BenchResult{std::move(name), value, unit});
+  };
 
   hiperd::Fig4Options options;
   options.mappings = randomCount;
@@ -69,16 +86,22 @@ int main(int argc, char** argv) {
     const auto [slack, rho] = describe(population.mappings[0]);
     table.addRow({"first random", formatDouble(slack, 4),
                   formatDouble(rho, 6)});
+    record("hiperd/first_random/slack", slack, "seconds");
+    record("hiperd/first_random/rho", rho, "objects");
   }
   {
     const auto [slack, rho] = describe(population.mappings[bestRandom]);
     table.addRow({"best of " + std::to_string(randomCount) + " random",
                   formatDouble(slack, 4), formatDouble(rho, 6)});
+    record("hiperd/best_random/slack", slack, "seconds");
+    record("hiperd/best_random/rho", rho, "objects");
   }
   {
     const auto [slack, rho] = describe(annealed);
     table.addRow({"annealed (max rho)", formatDouble(slack, 4),
                   formatDouble(rho, 6)});
+    record("hiperd/annealed/slack", slack, "seconds");
+    record("hiperd/annealed/rho", rho, "objects");
   }
   table.print(std::cout);
   std::cout << "\nannealing on the metric finds mappings beyond the random "
@@ -126,10 +149,17 @@ int main(int argc, char** argv) {
   etcTable.addRow({"annealed (max rho)", formatDouble(rho(etcAnnealed), 6)});
   etcTable.addRow(
       {"annealed + local search", formatDouble(rho(etcPolished), 6)});
+  record("etc/best_random/rho", rho(bestEtc), "time units");
+  record("etc/annealed/rho", rho(etcAnnealed), "time units");
+  record("etc/annealed_local/rho", rho(etcPolished), "time units");
   etcTable.print(std::cout);
   std::cout << "\nthe standard objectives run through IncrementalEvaluator: "
                "each probe costs a\ntwo-machine re-sum instead of a full "
                "analyze(), so the same budget explores\nfar more of the "
                "neighborhood.\n";
+  if (!reportPath.empty()) {
+    obs::writeRunReport(reportPath, runReport);
+    std::cout << "\nwrote run report to " << reportPath << "\n";
+  }
   return 0;
 }

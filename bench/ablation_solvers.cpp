@@ -60,7 +60,10 @@ int main(int argc, char** argv) {
       maxErr = std::max(maxErr, err);
       sumErr += err;
     }
-    const double usPer = watch.micros() / static_cast<double>(featureCount);
+    // nanos(): integer clock ticks, so the analytic path's sub-microsecond
+    // per-radius cost survives the division instead of rounding to 0.
+    const double usPer = static_cast<double>(watch.nanos()) * 1e-3 /
+                         static_cast<double>(featureCount);
     table.addRow({name, formatDouble(maxErr, 3),
                   formatDouble(sumErr / static_cast<double>(featureCount), 3),
                   formatDouble(usPer, 4)});
@@ -120,7 +123,8 @@ int main(int argc, char** argv) {
       maxErr = std::max(maxErr, err);
       sumErr += err;
     }
-    const double usPer = watch.micros() / static_cast<double>(quad.size());
+    const double usPer = static_cast<double>(watch.nanos()) * 1e-3 /
+                         static_cast<double>(quad.size());
     qtable.addRow({name, formatDouble(maxErr, 3),
                    formatDouble(sumErr / static_cast<double>(quad.size()), 3),
                    formatDouble(usPer, 4)});

@@ -2,9 +2,20 @@
 // closed form, full-system analyses, the iterative solvers, and the
 // instance generators. These stand in for the authors' testbed timings
 // (absolute numbers are machine-specific; relative costs are the signal).
+//
+// `--obs_report=PATH` (handled by the main() below, before google-benchmark
+// sees the argument list) additionally writes the results as a
+// robust.run_report JSON document — the same schema the ablation harnesses
+// emit — so CI can diff timings and obs counters across commits instead of
+// scraping console tables.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
+
+#include "robust/obs/metrics.hpp"
+#include "robust/obs/report.hpp"
 
 #include "robust/core/analyzer.hpp"
 #include "robust/core/compiled.hpp"
@@ -301,6 +312,61 @@ void BM_HiperdSlack(benchmark::State& state) {
 }
 BENCHMARK(BM_HiperdSlack);
 
+// Console reporter that also records every per-iteration run (aggregates
+// like mean/stddev are skipped) so main() can emit them as a run report.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) {
+        continue;
+      }
+      results_.push_back(obs::BenchResult{
+          run.benchmark_name(), run.GetAdjustedRealTime(),
+          benchmark::GetTimeUnitString(run.time_unit)});
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  [[nodiscard]] const std::vector<obs::BenchResult>& results() const {
+    return results_;
+  }
+
+ private:
+  std::vector<obs::BenchResult> results_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --obs_report=PATH before google-benchmark validates the flags.
+  std::string reportPath;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char* kFlag = "--obs_report=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      reportPath = argv[i] + std::strlen(kFlag);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!reportPath.empty()) {
+    obs::RunReport report;
+    report.tool = "perf_kernels";
+    report.benchmarks = reporter.results();
+    // Metrics ride along only when ROBUST_OBS is on; the report is still
+    // valid (empty metrics object) when it is off.
+    obs::writeRunReport(reportPath, report);
+  }
+  return 0;
+}

@@ -1,0 +1,251 @@
+// Schema validator for the observability artifacts CI uploads:
+//
+//   report_check REPORT.json [REPORT2.json ...] [--trace TRACE.json]
+//
+// Each positional argument must be a robust.run_report document (schema
+// version 1, see include/robust/obs/report.hpp); --trace additionally
+// validates a Chrome trace-event export (the ROBUST_TRACE output). Exits 0
+// when every file validates, 1 with one message per violation otherwise —
+// so a workflow step can gate on malformed or schema-drifted artifacts
+// instead of archiving garbage.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "robust/obs/json_lite.hpp"
+#include "robust/obs/metrics.hpp"
+#include "robust/obs/report.hpp"
+
+namespace {
+
+using robust::obs::json::Value;
+using Kind = Value::Kind;
+
+/// Collects violations for one file; prints them prefixed with the path.
+class Checker {
+ public:
+  explicit Checker(std::string path) : path_(std::move(path)) {}
+
+  void fail(const std::string& message) {
+    std::cerr << path_ << ": " << message << '\n';
+    ++failures_;
+  }
+
+  [[nodiscard]] int failures() const { return failures_; }
+
+  /// Asserts `v` has kind `kind`; names `what` on mismatch.
+  bool expect(const Value* v, Kind kind, const std::string& what) {
+    if (v == nullptr) {
+      fail("missing " + what);
+      return false;
+    }
+    if (v->kind != kind) {
+      fail(what + " has the wrong JSON type");
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::string path_;
+  int failures_ = 0;
+};
+
+void checkMetricsSection(Checker& check, const Value& metrics) {
+  for (const char* section : {"counters", "gauges"}) {
+    const Value* obj = metrics.find(section);
+    if (!check.expect(obj, Kind::Object, std::string("metrics.") + section)) {
+      continue;
+    }
+    for (const auto& [name, value] : obj->object) {
+      if (value.kind != Kind::Number) {
+        check.fail("metrics." + std::string(section) + "." + name +
+                   " is not a number");
+      }
+    }
+  }
+  const Value* histograms = metrics.find("histograms");
+  if (!check.expect(histograms, Kind::Object, "metrics.histograms")) {
+    return;
+  }
+  for (const auto& [name, h] : histograms->object) {
+    const std::string prefix = "metrics.histograms." + name;
+    if (h.kind != Kind::Object) {
+      check.fail(prefix + " is not an object");
+      continue;
+    }
+    check.expect(h.find("count"), Kind::Number, prefix + ".count");
+    check.expect(h.find("sum_nanos"), Kind::Number, prefix + ".sum_nanos");
+    const Value* buckets = h.find("buckets");
+    if (!check.expect(buckets, Kind::Array, prefix + ".buckets")) {
+      continue;
+    }
+    if (buckets->array.size() > robust::obs::kHistogramBuckets) {
+      check.fail(prefix + ".buckets has more than " +
+                 std::to_string(robust::obs::kHistogramBuckets) + " entries");
+    }
+    for (const Value& b : buckets->array) {
+      if (b.kind != Kind::Number) {
+        check.fail(prefix + ".buckets holds a non-number");
+        break;
+      }
+    }
+  }
+}
+
+int checkRunReport(const std::string& path) {
+  Checker check(path);
+  Value doc;
+  try {
+    doc = robust::obs::json::parseFile(path);
+  } catch (const std::exception& err) {
+    check.fail(err.what());
+    return check.failures();
+  }
+  if (doc.kind != Kind::Object) {
+    check.fail("top level is not an object");
+    return check.failures();
+  }
+
+  const Value* schema = doc.find("schema");
+  if (check.expect(schema, Kind::String, "schema") &&
+      schema->string != robust::obs::kRunReportSchemaName) {
+    check.fail("schema is '" + schema->string + "', expected '" +
+               std::string(robust::obs::kRunReportSchemaName) + "'");
+  }
+  const Value* version = doc.find("schema_version");
+  if (check.expect(version, Kind::Number, "schema_version") &&
+      version->number != robust::obs::kRunReportSchemaVersion) {
+    check.fail("schema_version is not " +
+               std::to_string(robust::obs::kRunReportSchemaVersion));
+  }
+  const Value* tool = doc.find("tool");
+  if (check.expect(tool, Kind::String, "tool") && tool->string.empty()) {
+    check.fail("tool is empty");
+  }
+
+  const Value* info = doc.find("info");
+  if (check.expect(info, Kind::Object, "info")) {
+    for (const auto& [key, value] : info->object) {
+      if (value.kind != Kind::String) {
+        check.fail("info." + key + " is not a string");
+      }
+    }
+  }
+
+  const Value* benchmarks = doc.find("benchmarks");
+  if (check.expect(benchmarks, Kind::Array, "benchmarks")) {
+    for (std::size_t i = 0; i < benchmarks->array.size(); ++i) {
+      const Value& row = benchmarks->array[i];
+      const std::string prefix = "benchmarks[" + std::to_string(i) + "]";
+      if (row.kind != Kind::Object) {
+        check.fail(prefix + " is not an object");
+        continue;
+      }
+      const Value* name = row.find("name");
+      if (check.expect(name, Kind::String, prefix + ".name") &&
+          name->string.empty()) {
+        check.fail(prefix + ".name is empty");
+      }
+      check.expect(row.find("value"), Kind::Number, prefix + ".value");
+      check.expect(row.find("unit"), Kind::String, prefix + ".unit");
+    }
+  }
+
+  const Value* metrics = doc.find("metrics");
+  if (check.expect(metrics, Kind::Object, "metrics")) {
+    checkMetricsSection(check, *metrics);
+  }
+  return check.failures();
+}
+
+int checkTrace(const std::string& path) {
+  Checker check(path);
+  Value doc;
+  try {
+    doc = robust::obs::json::parseFile(path);
+  } catch (const std::exception& err) {
+    check.fail(err.what());
+    return check.failures();
+  }
+  if (doc.kind != Kind::Object) {
+    check.fail("top level is not an object");
+    return check.failures();
+  }
+  const Value* events = doc.find("traceEvents");
+  if (!check.expect(events, Kind::Array, "traceEvents")) {
+    return check.failures();
+  }
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const Value& e = events->array[i];
+    const std::string prefix = "traceEvents[" + std::to_string(i) + "]";
+    if (e.kind != Kind::Object) {
+      check.fail(prefix + " is not an object");
+      continue;
+    }
+    const Value* name = e.find("name");
+    if (check.expect(name, Kind::String, prefix + ".name") &&
+        name->string.empty()) {
+      check.fail(prefix + ".name is empty");
+    }
+    const Value* ph = e.find("ph");
+    if (check.expect(ph, Kind::String, prefix + ".ph") &&
+        ph->string != "X") {
+      check.fail(prefix + ".ph is '" + ph->string +
+                 "' (the exporter only emits complete events)");
+    }
+    check.expect(e.find("pid"), Kind::Number, prefix + ".pid");
+    check.expect(e.find("tid"), Kind::Number, prefix + ".tid");
+    const Value* ts = e.find("ts");
+    const Value* dur = e.find("dur");
+    if (check.expect(ts, Kind::Number, prefix + ".ts") && ts->number < 0) {
+      check.fail(prefix + ".ts is negative");
+    }
+    if (check.expect(dur, Kind::Number, prefix + ".dur") && dur->number < 0) {
+      check.fail(prefix + ".dur is negative");
+    }
+  }
+  return check.failures();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> reports;
+  std::vector<std::string> traces;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      if (i + 1 == argc) {
+        std::cerr << "report_check: --trace needs a path\n";
+        return 2;
+      }
+      traces.emplace_back(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: report_check REPORT.json ... [--trace TRACE.json]\n";
+      return 0;
+    } else {
+      reports.push_back(arg);
+    }
+  }
+  if (reports.empty() && traces.empty()) {
+    std::cerr << "usage: report_check REPORT.json ... [--trace TRACE.json]\n";
+    return 2;
+  }
+
+  int failures = 0;
+  for (const std::string& path : reports) {
+    failures += checkRunReport(path);
+  }
+  for (const std::string& path : traces) {
+    failures += checkTrace(path);
+  }
+  if (failures > 0) {
+    std::cerr << failures << " schema violation(s)\n";
+    return 1;
+  }
+  std::cout << "validated " << reports.size() << " report(s), "
+            << traces.size() << " trace(s): OK\n";
+  return 0;
+}

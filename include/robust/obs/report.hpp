@@ -1,0 +1,63 @@
+// Structured, schema-versioned run reports.
+//
+// The bench and figure harnesses historically printed ad-hoc tables; a run
+// report is the machine-readable companion: one JSON document per run
+// carrying free-form info fields, benchmark results, and (by default) a
+// full metrics snapshot — counters, gauges, and latency histograms. The
+// schema is versioned so committed BENCH_*.json files stay diffable and CI
+// can validate them (bench/report_check.cpp).
+//
+// Schema (version 1):
+//   {
+//     "schema": "robust.run_report",
+//     "schema_version": 1,
+//     "tool": "<producing binary>",
+//     "info": { "<key>": "<value>", ... },
+//     "benchmarks": [ { "name": "...", "value": 1.5, "unit": "ns" }, ... ],
+//     "metrics": {
+//       "counters":   { "<name>": 123, ... },
+//       "gauges":     { "<name>": -4, ... },
+//       "histograms": { "<name>": { "count": 9, "sum_nanos": 1024,
+//                                   "buckets": [0, 3, 6] }, ... }
+//     }
+//   }
+// Histogram buckets are the obs::kHistogramBuckets power-of-two nanosecond
+// buckets with trailing zeroes trimmed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "robust/obs/metrics.hpp"
+
+namespace robust::obs {
+
+inline constexpr int kRunReportSchemaVersion = 1;
+inline constexpr std::string_view kRunReportSchemaName = "robust.run_report";
+
+/// One benchmark result row.
+struct BenchResult {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+};
+
+/// Everything one run wants to persist.
+struct RunReport {
+  std::string tool;  ///< producing binary, e.g. "perf_kernels"
+  std::vector<std::pair<std::string, std::string>> info;  ///< free-form
+  std::vector<BenchResult> benchmarks;
+  /// Embed snapshotMetrics() at write time (set false to omit the section).
+  bool includeMetrics = true;
+};
+
+/// Writes `report` as schema-version-1 JSON.
+void writeRunReport(std::ostream& out, const RunReport& report);
+
+/// writeRunReport to a file; throws std::runtime_error when it cannot be
+/// opened.
+void writeRunReport(const std::string& path, const RunReport& report);
+
+}  // namespace robust::obs

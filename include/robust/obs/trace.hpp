@@ -1,0 +1,71 @@
+// RAII trace spans and Chrome trace-event export.
+//
+// A Span marks one scoped unit of work ("core.analyzeBatch", one
+// hiperd.analyze). When recording is enabled each span records (name,
+// start, duration) into the owning thread's buffer; writeTrace() merges
+// every buffer — including those of threads that have since exited — into
+// a Chrome trace-event JSON file that loads directly in chrome://tracing
+// (or ui.perfetto.dev). Span names must be string literals (or otherwise
+// outlive the process): only the pointer is stored.
+//
+// When recording is disabled a Span is one relaxed atomic load, one store,
+// and a predictable branch in the destructor — nothing is allocated and no
+// clock is read. Setting ROBUST_TRACE=<path> in the environment enables
+// recording at startup and writes the trace to <path> at process exit.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "robust/obs/metrics.hpp"
+
+namespace robust::obs {
+
+namespace detail {
+/// Monotonic nanoseconds since an arbitrary epoch. Overridable in tests so
+/// trace exports can be compared against a golden file bit for bit.
+[[nodiscard]] std::int64_t nowNanos() noexcept;
+void setClockForTesting(std::int64_t (*fn)() noexcept) noexcept;
+/// Appends one completed span to the calling thread's buffer.
+void recordSpan(const char* name, std::int64_t startNanos) noexcept;
+}  // namespace detail
+
+/// RAII scope marker. `name` must be a string literal.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept
+      : name_(name), start_(enabled() ? detail::nowNanos() : kInactive) {}
+  ~Span() {
+    if (start_ != kInactive) {
+      detail::recordSpan(name_, start_);
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  static constexpr std::int64_t kInactive = INT64_MIN;
+  const char* name_;
+  std::int64_t start_;
+};
+
+/// Writes every recorded span as Chrome trace-event JSON. Thread ids are
+/// remapped to dense 1-based ids ordered by each thread's first span start
+/// (then by shard registration order), so exports are deterministic under a
+/// test clock. Timestamps are microseconds with nanosecond precision.
+void writeTrace(std::ostream& out);
+
+/// writeTrace to a file; throws std::runtime_error when it cannot be
+/// opened.
+void writeTrace(const std::string& path);
+
+/// Discards every recorded span (live buffers and retired threads').
+void clearTrace() noexcept;
+
+/// Spans dropped because a per-thread buffer hit its cap (traces stay
+/// bounded even on pathological runs); merged across all threads.
+[[nodiscard]] std::uint64_t droppedSpanCount() noexcept;
+
+}  // namespace robust::obs

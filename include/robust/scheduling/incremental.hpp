@@ -72,6 +72,20 @@ class ScratchEvaluator {
                                    ///< sqrt is correctly rounded)
 };
 
+/// Always-on work counters for one evaluator: how many candidates were
+/// scored as cheap deltas (moves / swaps) vs. full O(apps + machines)
+/// rebuilds. Plain non-atomic members incremented on the hot path — one
+/// register add, far below the per-probe work, so they cost nothing
+/// measurable even with observability disabled. publishStats() flushes them
+/// to the obs registry (sched.inc_*) in one batch. Copies of an evaluator
+/// carry their own counts.
+struct IncrementalStats {
+  std::uint64_t moves = 0;     ///< tryMove probes (delta evaluations)
+  std::uint64_t swaps = 0;     ///< trySwap probes (delta evaluations)
+  std::uint64_t commits = 0;   ///< staged candidates applied
+  std::uint64_t rebuilds = 0;  ///< full from-scratch re-evaluations
+};
+
 /// Tuning knobs for IncrementalEvaluator.
 struct IncrementalOptions {
   /// With at most this many machines the candidate max/min reductions scan
@@ -117,6 +131,18 @@ class IncrementalEvaluator {
 
   /// Replaces the incumbent wholesale (O(apps + machines log machines)).
   void reset(Mapping mapping);
+
+  /// Work performed by this evaluator since construction (or the last
+  /// publishStats()).
+  [[nodiscard]] const IncrementalStats& stats() const noexcept {
+    return stats_;
+  }
+
+  /// Flushes stats() to the obs counters (sched.inc_moves / inc_swaps /
+  /// inc_commits / inc_rebuilds) when recording is enabled, then zeroes
+  /// them. Search drivers call this once per search, keeping the per-probe
+  /// hot path free of any observability cost.
+  void publishStats();
 
  private:
   // One staged candidate: up to two apps reassigned, exactly two machines
@@ -184,6 +210,7 @@ class IncrementalEvaluator {
   std::vector<double> sqrtCount_;                  ///< sqrt(c), c = 0..apps
   EvalResult current_;
   Pending pending_;
+  IncrementalStats stats_;
   // Neighborhood scans probe the same app against every machine; the
   // app-removal re-sum of its source machine is identical across those
   // probes, so tryMove caches it until the incumbent changes.

@@ -15,13 +15,50 @@
 //                    parse; fail() throws, warn() records non-fatal notes.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "robust/util/error.hpp"
 
 namespace robust::util {
+
+/// Why an input was rejected. Categories aggregate rejections for
+/// monitoring (each increments a `Diagnostics` counter and, when
+/// observability is on, an `io.reject.<category>` obs counter) without
+/// forcing consumers to pattern-match message strings.
+enum class RejectCategory : std::uint8_t {
+  Format,     ///< a token/cell is not lexically what the grammar expects
+  Domain,     ///< lexically valid but outside the value policy (sign,
+              ///< finiteness, policy caps)
+  Structure,  ///< pieces parse but do not fit together (ragged rows,
+              ///< wrong keyword, index out of range)
+  Truncated,  ///< input ended before the grammar was satisfied
+  Other,      ///< anything uncategorised (legacy call sites)
+};
+
+inline constexpr std::size_t kRejectCategoryCount = 5;
+
+/// Stable lower-case name ("format", "domain", ...), used for counter keys.
+[[nodiscard]] const char* rejectCategoryName(RejectCategory category) noexcept;
+
+/// Per-category rejection tally for one `Diagnostics` context.
+struct RejectionCounts {
+  std::array<std::uint64_t, kRejectCategoryCount> byCategory{};
+
+  [[nodiscard]] std::uint64_t operator[](RejectCategory c) const noexcept {
+    return byCategory[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : byCategory) {
+      sum += v;
+    }
+    return sum;
+  }
+};
 
 /// One structured finding about an external input. Line and column are
 /// 1-based; 0 means "not applicable" (column 0 = whole line, line 0 =
@@ -32,6 +69,7 @@ struct Diagnostic {
   std::size_t line = 0;
   std::size_t column = 0;
   std::string message;
+  RejectCategory category = RejectCategory::Other;
 
   /// Canonical rendering: "source:line:column: message", omitting the
   /// position fields that are 0.
@@ -63,18 +101,33 @@ class Diagnostics {
 
   [[nodiscard]] const std::string& source() const noexcept { return source_; }
 
-  /// Throws ParseError pinned to (line, column).
+  /// Throws ParseError pinned to (line, column), tallying `category` in
+  /// counts() (and the io.reject.* obs counters) first.
+  [[noreturn]] void fail(RejectCategory category, std::size_t line,
+                         std::size_t column, std::string message) const;
+
+  /// Throws ParseError pinned to (line, column) as RejectCategory::Other.
   [[noreturn]] void fail(std::size_t line, std::size_t column,
-                         std::string message) const;
+                         std::string message) const {
+    fail(RejectCategory::Other, line, column, std::move(message));
+  }
 
   /// Throws ParseError pinned to a whole line.
+  [[noreturn]] void failLine(RejectCategory category, std::size_t line,
+                             std::string message) const {
+    fail(category, line, 0, std::move(message));
+  }
   [[noreturn]] void failLine(std::size_t line, std::string message) const {
-    fail(line, 0, std::move(message));
+    fail(RejectCategory::Other, line, 0, std::move(message));
   }
 
   /// Throws ParseError about the input as a whole (e.g. truncation).
+  [[noreturn]] void failInput(RejectCategory category,
+                              std::string message) const {
+    fail(category, 0, 0, std::move(message));
+  }
   [[noreturn]] void failInput(std::string message) const {
-    fail(0, 0, std::move(message));
+    fail(RejectCategory::Other, 0, 0, std::move(message));
   }
 
   /// Records a non-fatal finding (kept for the caller to inspect).
@@ -84,9 +137,20 @@ class Diagnostics {
     return warnings_;
   }
 
+  /// Rejections recorded by this context, tallied by category. fail() is
+  /// [[noreturn]], so the tally is written just before the throw; a context
+  /// observed after a caught ParseError reports the rejection that raised
+  /// it.
+  [[nodiscard]] const RejectionCounts& counts() const noexcept {
+    return counts_;
+  }
+
  private:
   std::string source_;
   std::vector<Diagnostic> warnings_;
+  // fail() is semantically const (it never mutates the parse state callers
+  // see — it throws); the tally is bookkeeping, hence mutable.
+  mutable RejectionCounts counts_;
 };
 
 /// Formats `v` with %.17g (the same rendering the savers use), so

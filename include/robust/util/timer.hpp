@@ -2,6 +2,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace robust {
 
@@ -12,6 +13,17 @@ class Stopwatch {
 
   /// Restarts the stopwatch.
   void reset() { start_ = clock::now(); }
+
+  /// Elapsed whole nanoseconds since construction or the last reset().
+  /// Integer ticks straight from the clock — no double rounding — so
+  /// successive reads are non-decreasing and sub-microsecond intervals
+  /// keep full resolution (micros() flattens anything below ~0.5 ulp of
+  /// the elapsed seconds).
+  [[nodiscard]] std::int64_t nanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                start_)
+        .count();
+  }
 
   /// Elapsed seconds since construction or the last reset().
   [[nodiscard]] double seconds() const {

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "robust/numeric/hyperplane.hpp"
+#include "robust/obs/metrics.hpp"
+#include "robust/obs/trace.hpp"
 #include "robust/util/error.hpp"
 #include "robust/util/thread_pool.hpp"
 
@@ -361,6 +363,11 @@ void CompiledProblem::radiusOfInto(std::size_t index,
   }
 
   if (affine && solver == SolverKind::Analytic) {
+    if (obs::enabled()) [[unlikely]] {
+      static const obs::MetricId kAnalytic =
+          obs::counterId("core.radius_analytic");
+      obs::addCounter(kAnalytic);
+    }
     std::span<const double> w = rowOf(index);
     double hint = dualNorms_[static_cast<int>(options_.norm)][rowIndex_[index]];
     if (scale != 1.0) {
@@ -382,6 +389,10 @@ void CompiledProblem::radiusOfInto(std::size_t index,
   // Iterative / Monte-Carlo lane (and explicit-analytic on a callable,
   // which must keep throwing exactly as the legacy analyzer did — but only
   // after the at-origin check).
+  if (obs::enabled()) [[unlikely]] {
+    static const obs::MetricId kSlow = obs::counterId("core.radius_slow");
+    obs::addCounter(kSlow);
+  }
   radiusSlowPath(index, origin, constant, scale,
                  affine ? rowOf(index) : std::span<const double>{}, solver,
                  out);
@@ -479,6 +490,15 @@ const RobustnessReport& CompiledProblem::evaluate(
     report.metric = std::floor(report.metric);
     report.floored = true;
   }
+  if (obs::enabled()) [[unlikely]] {
+    static const obs::MetricId kEvals = obs::counterId("core.evaluations");
+    static const obs::MetricId kRows = obs::counterId("core.rows_evaluated");
+    static const obs::MetricId kBinding = obs::gaugeId("core.binding_feature");
+    obs::addCounter(kEvals);
+    obs::addCounter(kRows, n);
+    obs::setGauge(kBinding,
+                  static_cast<std::int64_t>(report.bindingFeature));
+  }
   return report;
 }
 
@@ -510,6 +530,11 @@ void CompiledProblem::analyzeBatch(std::span<const AnalysisInstance> instances,
   const std::size_t n = instances.size();
   if (n == 0) {
     return;
+  }
+  const obs::Span span("core.analyzeBatch");
+  if (obs::enabled()) [[unlikely]] {
+    static const obs::MetricId kBatches = obs::counterId("core.batches");
+    obs::addCounter(kBatches);
   }
   std::size_t workers = threads == 0 ? defaultThreadCount() : threads;
   workers = std::min(workers, n);

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "robust/core/analyzer.hpp"
+#include "robust/obs/metrics.hpp"
+#include "robust/obs/trace.hpp"
 #include "robust/util/error.hpp"
 #include "robust/util/thread_pool.hpp"
 
@@ -138,9 +140,15 @@ const core::RobustnessReport& CompiledScenario::analyze(
   ROBUST_REQUIRE(mapping.apps() == apps && mapping.machines() == machines,
                  "CompiledScenario: mapping does not match the scenario");
 
+  const obs::Span span("hiperd.analyze");
   if (!fast_) {
     // Non-linear load functions or an iterative solver: delegate to the
     // legacy derivation (identical results, legacy cost).
+    if (obs::enabled()) [[unlikely]] {
+      static const obs::MetricId kFallback =
+          obs::counterId("hiperd.analyze_fallback");
+      obs::addCounter(kFallback);
+    }
     workspace.report_ =
         HiperdSystem(*scenario_, mapping).toAnalyzer(options_).analyze();
     return workspace.report_;
@@ -243,6 +251,16 @@ const core::RobustnessReport& CompiledScenario::analyze(
 
   radii.resize(used);
   ROBUST_REQUIRE(used > 0, "CompiledScenario: at least one feature required");
+  if (obs::enabled()) [[unlikely]] {
+    static const obs::MetricId kFast = obs::counterId("hiperd.analyze_fast");
+    static const obs::MetricId kRows =
+        obs::counterId("hiperd.rows_evaluated");
+    static const obs::MetricId kTn =
+        obs::counterId("hiperd.tn_presolved_reused");
+    obs::addCounter(kFast);
+    obs::addCounter(kRows, used);
+    obs::addCounter(kTn, tnReports_.size());
+  }
   if (std::isfinite(report.metric)) {
     // Section 3.2: a discrete parameter's metric should not be fractional.
     report.metric = std::floor(report.metric);
@@ -264,6 +282,7 @@ std::vector<core::RobustnessReport> CompiledScenario::analyzeMappings(
   if (n == 0) {
     return out;
   }
+  const obs::Span span("hiperd.analyzeMappings");
   std::size_t workers = threads == 0 ? defaultThreadCount() : threads;
   workers = std::min(workers, n);
   if (workers <= 1) {

@@ -49,7 +49,7 @@ class TokenReader {
       c = get();
     }
     if (c == EOF) {
-      diag_.fail(line_, column_ + 1,
+      diag_.fail(util::RejectCategory::Truncated, line_, column_ + 1,
                  std::string("unexpected end of input while reading ") +
                      context);
     }
@@ -69,10 +69,12 @@ class TokenReader {
     char* end = nullptr;
     const double v = std::strtod(t.c_str(), &end);
     if (end == t.c_str() || *end != '\0') {
-      fail(std::string(context) + " '" + t + "' is not a number");
+      fail(util::RejectCategory::Format,
+         std::string(context) + " '" + t + "' is not a number");
     }
     if (policy_.requireFinite && !std::isfinite(v)) {
-      fail(std::string(context) + " '" + t + "' is not finite");
+      fail(util::RejectCategory::Domain,
+         std::string(context) + " '" + t + "' is not finite");
     }
     return v;
   }
@@ -81,7 +83,8 @@ class TokenReader {
   double nonNegative(const char* context) {
     const double v = number(context);
     if (policy_.requireDomainSigns && v < 0.0) {
-      fail(std::string(context) + " '" + util::formatValue(v) +
+      fail(util::RejectCategory::Domain,
+         std::string(context) + " '" + util::formatValue(v) +
            "' is negative");
     }
     return v;
@@ -91,7 +94,8 @@ class TokenReader {
   double positive(const char* context) {
     const double v = number(context);
     if (policy_.requireDomainSigns && !(v > 0.0)) {
-      fail(std::string(context) + " '" + util::formatValue(v) +
+      fail(util::RejectCategory::Domain,
+         std::string(context) + " '" + util::formatValue(v) +
            "' is not a finite positive value");
     }
     return v;
@@ -107,11 +111,13 @@ class TokenReader {
                           std::isfinite(v) &&
                           v == static_cast<double>(static_cast<std::size_t>(v));
     if (!integral) {
-      fail(std::string(context) + " '" + t + "' is not a count");
+      fail(util::RejectCategory::Format,
+         std::string(context) + " '" + t + "' is not a count");
     }
     const auto n = static_cast<std::size_t>(v);
     if (n > policy_.maxDeclaredCount) {
-      fail(std::string(context) + " " + t + " is above the policy cap of " +
+      fail(util::RejectCategory::Domain,
+         std::string(context) + " " + t + " is above the policy cap of " +
            std::to_string(policy_.maxDeclaredCount));
     }
     return n;
@@ -120,7 +126,8 @@ class TokenReader {
   void keyword(const char* expected) {
     const std::string t = next(expected);
     if (t != expected) {
-      fail(std::string("expected '") + expected + "', got '" + t + "'");
+      fail(util::RejectCategory::Structure,
+         std::string("expected '") + expected + "', got '" + t + "'");
     }
   }
 
@@ -135,13 +142,15 @@ class TokenReader {
     if (t == "t") {
       return NodeKind::Actuator;
     }
-    fail(std::string("unknown node kind '") + t + "' for " + context +
+    fail(util::RejectCategory::Format,
+         std::string("unknown node kind '") + t + "' for " + context +
          " (expected s, a, or t)");
   }
 
   /// Fails at the start of the most recently read token.
-  [[noreturn]] void fail(std::string message) const {
-    diag_.fail(tokenLine_, tokenColumn_, std::move(message));
+  [[noreturn]] void fail(util::RejectCategory category,
+                         std::string message) const {
+    diag_.fail(category, tokenLine_, tokenColumn_, std::move(message));
   }
 
  private:
@@ -271,7 +280,8 @@ HiperdScenario loadScenario(std::istream& is, std::string_view source,
     const auto toIndex = in.count("edge target index");
     const auto trigger = in.count("edge trigger flag");
     if (trigger > 1) {
-      in.fail("edge trigger flag must be 0 or 1");
+      in.fail(util::RejectCategory::Domain,
+         "edge trigger flag must be 0 or 1");
     }
     try {
       g.addEdge(NodeRef{fromKind, fromIndex}, NodeRef{toKind, toIndex},
@@ -279,7 +289,8 @@ HiperdScenario loadScenario(std::istream& is, std::string_view source,
     } catch (const util::ParseError&) {
       throw;
     } catch (const InvalidArgumentError& err) {
-      in.fail(std::string("invalid edge: ") + err.what());
+      in.fail(util::RejectCategory::Structure,
+         std::string("invalid edge: ") + err.what());
     }
   }
   // Structural invariants — acyclicity, sensor fan-out, reachability — are
@@ -304,7 +315,8 @@ HiperdScenario loadScenario(std::istream& is, std::string_view source,
   in.keyword("latency_limits");
   const std::size_t limits = in.count("latency limit count");
   if (limits != g.paths().size()) {
-    in.fail("stored latency-limit count " + std::to_string(limits) +
+    in.fail(util::RejectCategory::Structure,
+              "stored latency-limit count " + std::to_string(limits) +
             " does not match the re-enumerated path count " +
             std::to_string(g.paths().size()));
   }
@@ -322,11 +334,13 @@ HiperdScenario loadScenario(std::istream& is, std::string_view source,
     const std::size_t a = in.count("compute app index");
     const std::size_t m = in.count("compute machine index");
     if (a >= apps || m >= scenario.machines) {
-      in.fail("compute index (" + std::to_string(a) + ", " +
+      in.fail(util::RejectCategory::Structure,
+              "compute index (" + std::to_string(a) + ", " +
               std::to_string(m) + ") out of range");
     }
     if (scenario.compute[a].size() != m) {
-      in.fail("compute rows out of order at app " + std::to_string(a) +
+      in.fail(util::RejectCategory::Structure,
+              "compute rows out of order at app " + std::to_string(a) +
               ", machine " + std::to_string(m));
     }
     num::Vec coeffs(sensors);
@@ -341,7 +355,8 @@ HiperdScenario loadScenario(std::istream& is, std::string_view source,
   for (std::size_t e = 0; e < edges; ++e) {
     const std::size_t id = in.count("comm edge index");
     if (id != e) {
-      in.fail("comm rows out of order: expected edge " + std::to_string(e) +
+      in.fail(util::RejectCategory::Structure,
+              "comm rows out of order: expected edge " + std::to_string(e) +
               ", got " + std::to_string(id));
     }
     num::Vec coeffs(sensors);

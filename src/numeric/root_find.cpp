@@ -7,11 +7,38 @@
 #include <string>
 #include <utility>
 
+#include "robust/obs/metrics.hpp"
 #include "robust/util/error.hpp"
 
 namespace robust::num {
 
 namespace {
+
+/// Publishes one finished root search (call count + iterations consumed) to
+/// the obs counters. The iteration totals are the paper's "boundary probe"
+/// work unit: each iteration is one objective evaluation on the ray.
+void noteRootSearch(obs::MetricId calls, obs::MetricId iterations,
+                    int consumed) noexcept {
+  obs::addCounter(calls);
+  obs::addCounter(iterations, static_cast<std::uint64_t>(consumed));
+}
+
+obs::MetricId bisectCallsId() {
+  static const obs::MetricId id = obs::counterId("num.bisect_calls");
+  return id;
+}
+obs::MetricId bisectIterationsId() {
+  static const obs::MetricId id = obs::counterId("num.bisect_iterations");
+  return id;
+}
+obs::MetricId brentCallsId() {
+  static const obs::MetricId id = obs::counterId("num.brent_calls");
+  return id;
+}
+obs::MetricId brentIterationsId() {
+  static const obs::MetricId id = obs::counterId("num.brent_iterations");
+  return id;
+}
 
 /// Evaluates f(x) and fails fast on a non-finite result. Without this
 /// guard a NaN objective silently defeats every sign test below (all NaN
@@ -69,6 +96,10 @@ RootResult bisect(const ScalarFn1D& f, double lo, double hi,
     if (std::fabs(fmid) <= options.fTol || (hi - lo) * 0.5 <= options.xTol) {
       result.x = mid;
       result.fx = fmid;
+      if (obs::enabled()) [[unlikely]] {
+        noteRootSearch(bisectCallsId(), bisectIterationsId(),
+                       result.iterations);
+      }
       return result;
     }
     if (flo * fmid <= 0.0) {
@@ -81,6 +112,9 @@ RootResult bisect(const ScalarFn1D& f, double lo, double hi,
   }
   result.x = 0.5 * (lo + hi);
   result.fx = checkedEval(f, result.x, "bisect");
+  if (obs::enabled()) [[unlikely]] {
+    noteRootSearch(bisectCallsId(), bisectIterationsId(), result.iterations);
+  }
   return result;
 }
 
@@ -122,6 +156,10 @@ RootResult brent(const ScalarFn1D& f, double lo, double hi,
     if (std::fabs(xm) <= tol1 || std::fabs(fb) <= options.fTol) {
       result.x = b;
       result.fx = fb;
+      if (obs::enabled()) [[unlikely]] {
+        noteRootSearch(brentCallsId(), brentIterationsId(),
+                       result.iterations);
+      }
       return result;
     }
     if (std::fabs(e) >= tol1 && std::fabs(fa) > std::fabs(fb)) {
@@ -166,6 +204,9 @@ RootResult brent(const ScalarFn1D& f, double lo, double hi,
   }
   result.x = b;
   result.fx = fb;
+  if (obs::enabled()) [[unlikely]] {
+    noteRootSearch(brentCallsId(), brentIterationsId(), result.iterations);
+  }
   return result;
 }
 

@@ -1,0 +1,501 @@
+// Metrics registry + trace collector. One translation unit because the two
+// share the per-thread shard machinery: a thread's counter slots and its
+// trace buffer live in the same shard, registered once and retired together
+// when the thread exits.
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+#include "robust/obs/metrics.hpp"
+#include "robust/obs/trace.hpp"
+
+namespace robust::obs {
+
+namespace detail {
+std::atomic<bool> gEnabled{false};
+}  // namespace detail
+
+namespace {
+
+constexpr std::size_t kMaxCounters = 192;
+constexpr std::size_t kMaxGauges = 64;
+constexpr std::size_t kMaxHistograms = 32;
+/// Per-thread span cap: traces stay bounded on pathological runs; overflow
+/// is counted, not silently ignored.
+constexpr std::size_t kMaxSpansPerThread = 1u << 16;
+
+struct TraceEvent {
+  const char* name;       ///< string literal, never owned
+  std::int64_t startNs;
+  std::int64_t durationNs;
+};
+
+/// One thread's private slots. Owner-incremented with relaxed atomics; the
+/// snapshot reads the same atomics, so concurrent merge is race-free. The
+/// trace buffer is the only mutex-guarded part (append vs export), and it
+/// is touched only while recording is enabled.
+struct Shard {
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  std::array<std::atomic<std::uint64_t>, kMaxHistograms> histCount{};
+  std::array<std::atomic<std::uint64_t>, kMaxHistograms> histSum{};
+  std::array<std::array<std::atomic<std::uint64_t>, kHistogramBuckets>,
+             kMaxHistograms>
+      histBuckets{};
+  std::uint32_t tid = 0;
+  std::mutex traceMutex;
+  std::vector<TraceEvent> trace;
+  std::uint64_t droppedSpans = 0;
+};
+
+/// Totals of threads that have exited (their shards are freed on exit, so
+/// their contributions are folded in here, under the registry mutex).
+struct RetiredTotals {
+  std::array<std::uint64_t, kMaxCounters> counters{};
+  std::array<std::uint64_t, kMaxHistograms> histCount{};
+  std::array<std::uint64_t, kMaxHistograms> histSum{};
+  std::array<std::array<std::uint64_t, kHistogramBuckets>, kMaxHistograms>
+      histBuckets{};
+  std::uint64_t droppedSpans = 0;
+};
+
+struct RetiredTrace {
+  std::uint32_t tid = 0;
+  std::vector<TraceEvent> events;
+};
+
+struct Registry {
+  std::mutex mutex;  ///< names, shard list, retired totals — never recording
+  std::vector<std::string> counterNames;
+  std::vector<std::string> gaugeNames;
+  std::vector<std::string> histogramNames;
+  std::vector<Shard*> shards;
+  RetiredTotals retired;
+  std::vector<RetiredTrace> retiredTrace;
+  std::array<std::atomic<std::int64_t>, kMaxGauges> gauges{};
+  std::uint32_t nextTid = 1;
+};
+
+/// Leaked singleton: thread_local shard handles retire through it during
+/// thread (and process) teardown, so it must never be destroyed.
+Registry& registry() {
+  static Registry* instance = new Registry;
+  return *instance;
+}
+
+void retireShard(Shard* shard) {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  for (std::size_t i = 0; i < kMaxCounters; ++i) {
+    reg.retired.counters[i] +=
+        shard->counters[i].load(std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < kMaxHistograms; ++i) {
+    reg.retired.histCount[i] +=
+        shard->histCount[i].load(std::memory_order_relaxed);
+    reg.retired.histSum[i] += shard->histSum[i].load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      reg.retired.histBuckets[i][b] +=
+          shard->histBuckets[i][b].load(std::memory_order_relaxed);
+    }
+  }
+  reg.retired.droppedSpans += shard->droppedSpans;
+  if (!shard->trace.empty()) {
+    reg.retiredTrace.push_back(
+        RetiredTrace{shard->tid, std::move(shard->trace)});
+  }
+  reg.shards.erase(std::find(reg.shards.begin(), reg.shards.end(), shard));
+  delete shard;
+}
+
+struct ShardHandle {
+  Shard* shard = nullptr;
+  ~ShardHandle() {
+    if (shard != nullptr) {
+      retireShard(shard);
+    }
+  }
+};
+
+Shard& localShard() {
+  thread_local ShardHandle handle;
+  if (handle.shard == nullptr) {
+    auto* shard = new Shard;
+    Registry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    shard->tid = reg.nextTid++;
+    reg.shards.push_back(shard);
+    handle.shard = shard;
+  }
+  return *handle.shard;
+}
+
+MetricId registerName(std::vector<std::string>& names, std::size_t capacity,
+                      std::string_view name, const char* kind) {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) {
+      return static_cast<MetricId>(i);
+    }
+  }
+  if (names.size() >= capacity) {
+    throw std::runtime_error(std::string("obs: ") + kind +
+                             " capacity exhausted registering '" +
+                             std::string(name) + "'");
+  }
+  names.emplace_back(name);
+  return static_cast<MetricId>(names.size() - 1);
+}
+
+std::int64_t steadyNowNanos() noexcept;
+
+std::int64_t (*gClockOverride)() noexcept = nullptr;
+
+/// Environment bootstrap, run once before main: ROBUST_OBS turns recording
+/// on; ROBUST_TRACE=<path> additionally writes the trace at process exit.
+bool envTruthy(const char* value) {
+  return value != nullptr &&
+         (std::strcmp(value, "1") == 0 || std::strcmp(value, "on") == 0 ||
+          std::strcmp(value, "true") == 0);
+}
+
+std::string& tracePathAtExit() {
+  static std::string path;
+  return path;
+}
+
+void writeTraceAtExit() {
+  const std::string& path = tracePathAtExit();
+  if (path.empty()) {
+    return;
+  }
+  try {
+    writeTrace(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "obs: failed to write ROBUST_TRACE file: %s\n",
+                 e.what());
+  }
+}
+
+const bool gEnvInitialized = [] {
+  if (envTruthy(std::getenv("ROBUST_OBS"))) {
+    detail::gEnabled.store(true, std::memory_order_relaxed);
+  }
+  if (const char* trace = std::getenv("ROBUST_TRACE");
+      trace != nullptr && *trace != '\0') {
+    detail::gEnabled.store(true, std::memory_order_relaxed);
+    tracePathAtExit() = trace;
+    std::atexit(writeTraceAtExit);
+  }
+  return true;
+}();
+
+}  // namespace
+
+void setEnabled(bool on) noexcept {
+  detail::gEnabled.store(on, std::memory_order_relaxed);
+}
+
+MetricId counterId(std::string_view name) {
+  return registerName(registry().counterNames, kMaxCounters, name, "counter");
+}
+
+MetricId gaugeId(std::string_view name) {
+  return registerName(registry().gaugeNames, kMaxGauges, name, "gauge");
+}
+
+MetricId histogramId(std::string_view name) {
+  return registerName(registry().histogramNames, kMaxHistograms, name,
+                      "histogram");
+}
+
+void addCounter(MetricId id, std::uint64_t delta) noexcept {
+  localShard().counters[id].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void setGauge(MetricId id, std::int64_t value) noexcept {
+  registry().gauges[id].store(value, std::memory_order_relaxed);
+}
+
+void maxGauge(MetricId id, std::int64_t value) noexcept {
+  std::atomic<std::int64_t>& gauge = registry().gauges[id];
+  std::int64_t seen = gauge.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !gauge.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void recordLatency(MetricId id, std::int64_t nanos) noexcept {
+  Shard& shard = localShard();
+  const std::uint64_t magnitude =
+      nanos <= 0 ? 0 : static_cast<std::uint64_t>(nanos);
+  const std::size_t bucket = std::min<std::size_t>(
+      kHistogramBuckets - 1, static_cast<std::size_t>(
+                                 magnitude == 0 ? 0 : std::bit_width(magnitude)));
+  shard.histCount[id].fetch_add(1, std::memory_order_relaxed);
+  shard.histSum[id].fetch_add(magnitude, std::memory_order_relaxed);
+  shard.histBuckets[id][bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const noexcept {
+  for (const CounterValue& c : counters) {
+    if (c.name == name) {
+      return c.value;
+    }
+  }
+  return 0;
+}
+
+std::int64_t MetricsSnapshot::gauge(std::string_view name) const noexcept {
+  for (const GaugeValue& g : gauges) {
+    if (g.name == name) {
+      return g.value;
+    }
+  }
+  return 0;
+}
+
+const HistogramValue* MetricsSnapshot::histogram(
+    std::string_view name) const noexcept {
+  for (const HistogramValue& h : histograms) {
+    if (h.name == name) {
+      return &h;
+    }
+  }
+  return nullptr;
+}
+
+MetricsSnapshot snapshotMetrics() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  MetricsSnapshot snapshot;
+
+  snapshot.counters.resize(reg.counterNames.size());
+  for (std::size_t i = 0; i < reg.counterNames.size(); ++i) {
+    snapshot.counters[i].name = reg.counterNames[i];
+    std::uint64_t total = reg.retired.counters[i];
+    for (const Shard* shard : reg.shards) {
+      total += shard->counters[i].load(std::memory_order_relaxed);
+    }
+    snapshot.counters[i].value = total;
+  }
+
+  snapshot.gauges.resize(reg.gaugeNames.size());
+  for (std::size_t i = 0; i < reg.gaugeNames.size(); ++i) {
+    snapshot.gauges[i].name = reg.gaugeNames[i];
+    snapshot.gauges[i].value = reg.gauges[i].load(std::memory_order_relaxed);
+  }
+
+  snapshot.histograms.resize(reg.histogramNames.size());
+  for (std::size_t i = 0; i < reg.histogramNames.size(); ++i) {
+    HistogramValue& h = snapshot.histograms[i];
+    h.name = reg.histogramNames[i];
+    h.count = reg.retired.histCount[i];
+    h.sumNanos = reg.retired.histSum[i];
+    h.buckets.assign(reg.retired.histBuckets[i].begin(),
+                     reg.retired.histBuckets[i].end());
+    for (const Shard* shard : reg.shards) {
+      h.count += shard->histCount[i].load(std::memory_order_relaxed);
+      h.sumNanos += shard->histSum[i].load(std::memory_order_relaxed);
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        h.buckets[b] +=
+            shard->histBuckets[i][b].load(std::memory_order_relaxed);
+      }
+    }
+  }
+  return snapshot;
+}
+
+void resetMetrics() noexcept {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  reg.retired = RetiredTotals{};
+  for (std::size_t i = 0; i < kMaxGauges; ++i) {
+    reg.gauges[i].store(0, std::memory_order_relaxed);
+  }
+  for (Shard* shard : reg.shards) {
+    for (auto& c : shard->counters) {
+      c.store(0, std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < kMaxHistograms; ++i) {
+      shard->histCount[i].store(0, std::memory_order_relaxed);
+      shard->histSum[i].store(0, std::memory_order_relaxed);
+      for (auto& b : shard->histBuckets[i]) {
+        b.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+// --- trace ---------------------------------------------------------------
+
+namespace {
+
+std::int64_t steadyNowNanos() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// JSON string escaping for span names (names are literals, but stay safe).
+void writeEscaped(std::ostream& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+std::int64_t nowNanos() noexcept {
+  if (gClockOverride != nullptr) {
+    return gClockOverride();
+  }
+  return steadyNowNanos();
+}
+
+void setClockForTesting(std::int64_t (*fn)() noexcept) noexcept {
+  gClockOverride = fn;
+}
+
+void recordSpan(const char* name, std::int64_t startNanos) noexcept {
+  const std::int64_t duration = nowNanos() - startNanos;
+  Shard& shard = localShard();
+  std::lock_guard lock(shard.traceMutex);
+  if (shard.trace.size() >= kMaxSpansPerThread) {
+    ++shard.droppedSpans;
+    return;
+  }
+  shard.trace.push_back(TraceEvent{name, startNanos, duration});
+}
+
+}  // namespace detail
+
+void writeTrace(std::ostream& out) {
+  // Collect (tid, events) pairs from live shards and retired threads, then
+  // remap tids to dense 1-based ids ordered by first span start so exports
+  // are deterministic under a test clock.
+  struct ThreadEvents {
+    std::uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+  };
+  std::vector<ThreadEvents> threads;
+  {
+    Registry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    for (Shard* shard : reg.shards) {
+      std::lock_guard traceLock(shard->traceMutex);
+      if (!shard->trace.empty()) {
+        threads.push_back(ThreadEvents{shard->tid, shard->trace});
+      }
+    }
+    for (const RetiredTrace& retired : reg.retiredTrace) {
+      threads.push_back(ThreadEvents{retired.tid, retired.events});
+    }
+  }
+  for (ThreadEvents& t : threads) {
+    std::sort(t.events.begin(), t.events.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                return a.startNs < b.startNs ||
+                       (a.startNs == b.startNs && a.durationNs > b.durationNs);
+              });
+  }
+  std::sort(threads.begin(), threads.end(),
+            [](const ThreadEvents& a, const ThreadEvents& b) {
+              const std::int64_t sa =
+                  a.events.empty() ? INT64_MAX : a.events.front().startNs;
+              const std::int64_t sb =
+                  b.events.empty() ? INT64_MAX : b.events.front().startNs;
+              return sa < sb || (sa == sb && a.tid < b.tid);
+            });
+
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  for (std::size_t t = 0; t < threads.size(); ++t) {
+    for (const TraceEvent& e : threads[t].events) {
+      if (!first) {
+        out << ',';
+      }
+      first = false;
+      out << "{\"name\":\"";
+      writeEscaped(out, e.name);
+      out << "\",\"cat\":\"robust\",\"ph\":\"X\",\"pid\":1,\"tid\":" << (t + 1);
+      // Microseconds with nanosecond precision: deterministic formatting.
+      std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                    static_cast<long long>(e.startNs / 1000),
+                    static_cast<long long>(e.startNs % 1000));
+      out << ",\"ts\":" << buf;
+      std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                    static_cast<long long>(e.durationNs / 1000),
+                    static_cast<long long>(e.durationNs % 1000));
+      out << ",\"dur\":" << buf << '}';
+    }
+  }
+  out << "]}\n";
+}
+
+void writeTrace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("obs: cannot open trace file '" + path + "'");
+  }
+  writeTrace(out);
+}
+
+void clearTrace() noexcept {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  reg.retiredTrace.clear();
+  reg.retired.droppedSpans = 0;
+  for (Shard* shard : reg.shards) {
+    std::lock_guard traceLock(shard->traceMutex);
+    shard->trace.clear();
+    shard->droppedSpans = 0;
+  }
+}
+
+std::uint64_t droppedSpanCount() noexcept {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  std::uint64_t total = reg.retired.droppedSpans;
+  for (Shard* shard : reg.shards) {
+    std::lock_guard traceLock(shard->traceMutex);
+    total += shard->droppedSpans;
+  }
+  return total;
+}
+
+}  // namespace robust::obs

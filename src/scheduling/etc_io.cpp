@@ -54,13 +54,15 @@ double parseCell(const std::string& cell, const util::Diagnostics& diag,
   char* end = nullptr;
   const double v = std::strtod(cell.c_str(), &end);
   if (end == cell.c_str() || *end != '\0') {
-    diag.fail(line, field, "cell '" + cell + "' is not a number");
+    diag.fail(util::RejectCategory::Format, line, field,
+              "cell '" + cell + "' is not a number");
   }
   if (policy.requireFinite && !std::isfinite(v)) {
-    diag.fail(line, field, "cell '" + cell + "' is not a finite positive time");
+    diag.fail(util::RejectCategory::Domain, line, field,
+              "cell '" + cell + "' is not a finite positive time");
   }
   if (policy.requireDomainSigns && !(v > 0.0)) {
-    diag.fail(line, field,
+    diag.fail(util::RejectCategory::Domain, line, field,
               "cell '" + cell + "' is not a positive time (ETC entries are "
               "execution times)");
   }
@@ -74,19 +76,21 @@ EtcMatrix loadEtcCsv(std::istream& is, std::string_view source,
   util::Diagnostics diag{std::string(source)};
   std::string line;
   if (!std::getline(is, line)) {
-    diag.failInput("empty input (expected an 'app,m0,...' header)");
+    diag.failInput(util::RejectCategory::Truncated,
+                   "empty input (expected an 'app,m0,...' header)");
   }
   std::size_t lineNo = 1;
   const auto header = splitCsvLine(line);
   if (header.size() < 2 || header[0] != "app") {
-    diag.failLine(lineNo,
+    diag.failLine(util::RejectCategory::Structure, lineNo,
                   "malformed header '" + line +
                       "' (expected 'app,m0,m1,...' with at least one machine "
                       "column)");
   }
   const std::size_t machines = header.size() - 1;
   if (machines > policy.maxDeclaredCount) {
-    diag.failLine(lineNo, "header declares " + std::to_string(machines) +
+    diag.failLine(util::RejectCategory::Domain, lineNo,
+                  "header declares " + std::to_string(machines) +
                               " machine columns, above the policy cap of " +
                               std::to_string(policy.maxDeclaredCount));
   }
@@ -99,12 +103,14 @@ EtcMatrix loadEtcCsv(std::istream& is, std::string_view source,
     }
     const auto cells = splitCsvLine(line);
     if (cells.size() != machines + 1) {
-      diag.failLine(lineNo, "ragged row: expected " +
+      diag.failLine(util::RejectCategory::Structure, lineNo,
+                    "ragged row: expected " +
                                 std::to_string(machines + 1) + " cells, got " +
                                 std::to_string(cells.size()));
     }
     if (rows.size() == policy.maxDeclaredCount) {
-      diag.failLine(lineNo, "more than " +
+      diag.failLine(util::RejectCategory::Domain, lineNo,
+                    "more than " +
                                 std::to_string(policy.maxDeclaredCount) +
                                 " application rows, above the policy cap");
     }
@@ -116,7 +122,8 @@ EtcMatrix loadEtcCsv(std::istream& is, std::string_view source,
     rows.push_back(std::move(row));
   }
   if (rows.empty()) {
-    diag.failInput("no application rows after the header");
+    diag.failInput(util::RejectCategory::Truncated,
+                   "no application rows after the header");
   }
 
   EtcMatrix etc(rows.size(), machines);

@@ -1,5 +1,8 @@
 #include "robust/scheduling/heuristics.hpp"
 
+#include "robust/obs/metrics.hpp"
+#include "robust/obs/trace.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -434,6 +437,7 @@ Mapping localSearch(const EtcMatrix& etc, Mapping start,
                     const EtcObjective& objective,
                     const LocalSearchOptions& options) {
   ROBUST_REQUIRE(options.maxRounds > 0, "localSearch: maxRounds must be > 0");
+  const obs::Span span("sched.localSearch");
   const double tau = evaluatorTau(objective);
   std::size_t workers =
       options.threads == 0 ? defaultThreadCount() : options.threads;
@@ -490,6 +494,14 @@ Mapping localSearch(const EtcMatrix& etc, Mapping start,
     pool = std::make_unique<ThreadPool>(workers);
   }
   for (int round = 0; round < options.maxRounds; ++round) {
+    if (obs::enabled()) [[unlikely]] {
+      static const obs::MetricId kRounds =
+          obs::counterId("sched.search_rounds");
+      static const obs::MetricId kProbes =
+          obs::counterId("sched.search_probes");
+      obs::addCounter(kRounds);
+      obs::addCounter(kProbes, etc.apps() * (etc.machines() - 1));
+    }
     if (pool) {
       for (std::size_t w = 0; w < workers; ++w) {
         pool->submit([&scanBlock, w] { scanBlock(w); });
@@ -515,6 +527,9 @@ Mapping localSearch(const EtcMatrix& etc, Mapping start,
       evaluator.commit();
     }
     currentValue = best.value;
+  }
+  for (IncrementalEvaluator& evaluator : evaluators) {
+    evaluator.publishStats();
   }
   return evaluators[0].mapping();
 }

@@ -1,5 +1,7 @@
 #include "robust/scheduling/incremental.hpp"
 
+#include "robust/obs/metrics.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <utility>
@@ -115,6 +117,7 @@ void IncrementalEvaluator::rebuild() {
   current_ = reduceDense(load_, count_, tau_, sqrtCount_);
   pending_.active = false;
   cachedRemovalApp_ = kNone;
+  ++stats_.rebuilds;
 }
 
 void IncrementalEvaluator::reset(Mapping mapping) {
@@ -233,6 +236,7 @@ EvalResult IncrementalEvaluator::tryMove(std::size_t app,
     pending_.active = false;
     return current_;
   }
+  ++stats_.moves;
   Pending& p = pending_;
   p.active = true;
   p.appA = p.appB = app;
@@ -262,6 +266,7 @@ EvalResult IncrementalEvaluator::trySwap(std::size_t appA, std::size_t appB) {
     pending_.active = false;
     return current_;
   }
+  ++stats_.swaps;
   Pending& p = pending_;
   p.active = true;
   p.appA = appA;
@@ -332,8 +337,24 @@ bool IncrementalEvaluator::commit() {
   applyMachineUpdate(p.touchedB, p.loadB, p.countB);
   current_ = p.result;
   pending_.active = false;
+  ++stats_.commits;
   cachedRemovalApp_ = kNone;
   return true;
+}
+
+void IncrementalEvaluator::publishStats() {
+  if (obs::enabled()) {
+    static const obs::MetricId kMoves = obs::counterId("sched.inc_moves");
+    static const obs::MetricId kSwaps = obs::counterId("sched.inc_swaps");
+    static const obs::MetricId kCommits = obs::counterId("sched.inc_commits");
+    static const obs::MetricId kRebuilds =
+        obs::counterId("sched.inc_rebuilds");
+    obs::addCounter(kMoves, stats_.moves);
+    obs::addCounter(kSwaps, stats_.swaps);
+    obs::addCounter(kCommits, stats_.commits);
+    obs::addCounter(kRebuilds, stats_.rebuilds);
+  }
+  stats_ = IncrementalStats{};
 }
 
 }  // namespace robust::sched

@@ -1,6 +1,8 @@
 #include "robust/sim/study.hpp"
 
 #include "robust/numeric/vector_ops.hpp"
+#include "robust/obs/metrics.hpp"
+#include "robust/obs/trace.hpp"
 #include "robust/util/error.hpp"
 #include "robust/util/stats.hpp"
 #include "robust/util/thread_pool.hpp"
@@ -13,6 +15,7 @@ std::vector<StudyPoint> runMakespanStudy(
   ROBUST_REQUIRE(!options.magnitudes.empty(),
                  "runMakespanStudy: no magnitudes requested");
 
+  const obs::Span span("sim.runMakespanStudy");
   const auto estimates = system.estimatedTimes();
   const auto analysis = system.analyze();
   // rho through the shared compiled engine (bit-identical to the Eq. 7
@@ -46,6 +49,12 @@ std::vector<StudyPoint> runMakespanStudy(
         },
         options.threads);
 
+    if (obs::enabled()) [[unlikely]] {
+      static const obs::MetricId kPoints = obs::counterId("sim.study_points");
+      static const obs::MetricId kTrials = obs::counterId("sim.study_trials");
+      obs::addCounter(kPoints);
+      obs::addCounter(kTrials, trials);
+    }
     StudyPoint point;
     point.magnitude = options.magnitudes[mi];
     double errorNormSum = 0.0;

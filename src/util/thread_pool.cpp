@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "robust/obs/metrics.hpp"
+#include "robust/obs/trace.hpp"
+
 namespace robust {
 
 std::size_t defaultThreadCount() noexcept {
@@ -45,6 +48,12 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard lock(mutex_);
     queue_.push_back(std::move(task));
     ++inFlight_;
+    if (obs::enabled()) [[unlikely]] {
+      static const obs::MetricId kHighWater =
+          obs::gaugeId("util.pool_queue_highwater");
+      obs::maxGauge(kHighWater,
+                    static_cast<std::int64_t>(queue_.size()));
+    }
   }
   cvTask_.notify_one();
 }
@@ -66,7 +75,17 @@ void ThreadPool::workerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (obs::enabled()) [[unlikely]] {
+      static const obs::MetricId kTasks = obs::counterId("util.pool_tasks");
+      static const obs::MetricId kLatency =
+          obs::histogramId("util.pool_task_ns");
+      const std::int64_t started = obs::detail::nowNanos();
+      task();
+      obs::addCounter(kTasks);
+      obs::recordLatency(kLatency, obs::detail::nowNanos() - started);
+    } else {
+      task();
+    }
     {
       std::lock_guard lock(mutex_);
       if (--inFlight_ == 0) {

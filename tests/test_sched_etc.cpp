@@ -271,6 +271,29 @@ TEST(EtcIo, DiagnosticCarriesLineAndColumnProvenance) {
   }
 }
 
+// Rejections are categorized (util::RejectCategory) so operators can watch
+// *why* inputs bounce without parsing message strings.
+TEST(EtcIo, RejectionsCarryTheRightCategory) {
+  const auto categoryOf = [](const char* text) {
+    std::stringstream s(text);
+    try {
+      (void)sched::loadEtcCsv(s);
+    } catch (const util::ParseError& e) {
+      return e.diagnostic().category;
+    }
+    ADD_FAILURE() << "input was accepted: " << text;
+    return util::RejectCategory::Other;
+  };
+  EXPECT_EQ(categoryOf("app,m0\na0,abc\n"), util::RejectCategory::Format);
+  EXPECT_EQ(categoryOf("app,m0\na0,nan\n"), util::RejectCategory::Domain);
+  EXPECT_EQ(categoryOf("app,m0\na0,-4\n"), util::RejectCategory::Domain);
+  EXPECT_EQ(categoryOf("app,m0\na0,1.5,2.5\n"),
+            util::RejectCategory::Structure);
+  EXPECT_EQ(categoryOf("nope,m0\na0,1.5\n"), util::RejectCategory::Structure);
+  EXPECT_EQ(categoryOf(""), util::RejectCategory::Truncated);
+  EXPECT_EQ(categoryOf("app,m0\n"), util::RejectCategory::Truncated);
+}
+
 TEST(EtcIo, DiagnosticUsesCallerProvidedSourceName) {
   std::stringstream s("app,m0\na0,-4\n");
   try {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "robust/util/args.hpp"
+#include "robust/util/diagnostics.hpp"
 #include "robust/util/error.hpp"
 #include "robust/util/rng.hpp"
 #include "robust/util/stats.hpp"
@@ -410,6 +411,25 @@ TEST(Stopwatch, MonotoneAndResettable) {
   EXPECT_LE(watch.seconds(), t1);
 }
 
+TEST(Stopwatch, NanosIsMonotoneNonNegativeAndConsistent) {
+  Stopwatch watch;
+  // Successive integer readings never go backwards (steady clock, integer
+  // ticks — no floating-point rounding in between).
+  std::int64_t previous = watch.nanos();
+  EXPECT_GE(previous, 0);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t now = watch.nanos();
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+  // nanos() and seconds() describe the same elapsed interval.
+  const std::int64_t ns = watch.nanos();
+  const double s = watch.seconds();
+  EXPECT_LE(static_cast<double>(ns) * 1e-9, s + 1e-6);
+  watch.reset();
+  EXPECT_LE(watch.nanos(), ns);
+}
+
 // ---------------------------------------------------------------- errors
 
 TEST(Errors, RequireMacroThrowsWithLocation) {
@@ -426,6 +446,58 @@ TEST(Errors, ConvergenceErrorCarriesResidual) {
   const ConvergenceError e("stalled", 0.25);
   EXPECT_DOUBLE_EQ(e.residual(), 0.25);
   EXPECT_STREQ(e.what(), "stalled");
+}
+
+// ---------------------------------------------------------------- diagnostics
+
+TEST(Diagnostics, FailTalliesTheCategoryBeforeThrowing) {
+  util::Diagnostics diag("input.txt");
+  EXPECT_EQ(diag.counts().total(), 0u);
+  try {
+    diag.fail(util::RejectCategory::Domain, 3, 7, "value out of range");
+    FAIL() << "expected a throw";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.diagnostic().category, util::RejectCategory::Domain);
+    EXPECT_EQ(e.diagnostic().line, 3u);
+    EXPECT_EQ(e.diagnostic().column, 7u);
+  }
+  EXPECT_EQ(diag.counts()[util::RejectCategory::Domain], 1u);
+  EXPECT_EQ(diag.counts()[util::RejectCategory::Format], 0u);
+  EXPECT_EQ(diag.counts().total(), 1u);
+}
+
+TEST(Diagnostics, LegacyOverloadsCountAsOther) {
+  util::Diagnostics diag("input.txt");
+  EXPECT_THROW(diag.failInput("truncated"), util::ParseError);
+  EXPECT_THROW(diag.failLine(4, "bad line"), util::ParseError);
+  EXPECT_EQ(diag.counts()[util::RejectCategory::Other], 2u);
+  EXPECT_EQ(diag.counts().total(), 2u);
+}
+
+TEST(Diagnostics, CountsAccumulateAcrossCategories) {
+  util::Diagnostics diag("input.txt");
+  for (const auto category :
+       {util::RejectCategory::Format, util::RejectCategory::Format,
+        util::RejectCategory::Structure, util::RejectCategory::Truncated}) {
+    EXPECT_THROW(diag.fail(category, 1, 1, "x"), util::ParseError);
+  }
+  EXPECT_EQ(diag.counts()[util::RejectCategory::Format], 2u);
+  EXPECT_EQ(diag.counts()[util::RejectCategory::Structure], 1u);
+  EXPECT_EQ(diag.counts()[util::RejectCategory::Truncated], 1u);
+  EXPECT_EQ(diag.counts().total(), 4u);
+}
+
+TEST(Diagnostics, CategoryNamesAreStableCounterKeys) {
+  EXPECT_STREQ(util::rejectCategoryName(util::RejectCategory::Format),
+               "format");
+  EXPECT_STREQ(util::rejectCategoryName(util::RejectCategory::Domain),
+               "domain");
+  EXPECT_STREQ(util::rejectCategoryName(util::RejectCategory::Structure),
+               "structure");
+  EXPECT_STREQ(util::rejectCategoryName(util::RejectCategory::Truncated),
+               "truncated");
+  EXPECT_STREQ(util::rejectCategoryName(util::RejectCategory::Other),
+               "other");
 }
 
 }  // namespace
