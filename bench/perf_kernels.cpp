@@ -22,6 +22,7 @@
 #include "robust/hiperd/compiled_scenario.hpp"
 #include "robust/hiperd/experiment.hpp"
 #include "robust/numeric/optimize.hpp"
+#include "robust/numeric/simd.hpp"
 #include "robust/scheduling/experiment.hpp"
 #include "robust/scheduling/heuristics.hpp"
 #include "robust/scheduling/incremental.hpp"
@@ -311,6 +312,159 @@ void BM_HiperdSlack(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HiperdSlack);
+
+// --- radius micro-kernels and the metric-only lane (PR 5) ---
+//
+// BM_RadiusKernelScalar / BM_RadiusKernelSimd time the multi-row dot kernel
+// (the inner loop of the metric lane's dot pass) with the dispatch target
+// pinned to the portable scalar fallback vs AVX2. Both produce bit-identical
+// dots (the scalar lanes replay the vector schedule); the ratio is the pure
+// vectorization win. On hosts without AVX2 the Simd benchmark silently runs
+// the scalar kernel (setTarget falls back), so the two report equal times.
+struct KernelBenchData {
+  std::vector<double> weights;  ///< row-major rows x dims
+  num::Vec x;
+  std::vector<double> dots;
+};
+
+KernelBenchData kernelBenchData(std::size_t rows, std::size_t dims) {
+  Pcg32 rng(5);
+  KernelBenchData data;
+  data.weights.resize(rows * dims);
+  for (double& w : data.weights) {
+    w = rng.uniform(0.1, 2.0);
+  }
+  data.x.resize(dims);
+  for (double& v : data.x) {
+    v = rng.uniform(0.5, 1.5);
+  }
+  data.dots.resize(rows);
+  return data;
+}
+
+void radiusKernelBody(benchmark::State& state, num::simd::Target target) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto dims = static_cast<std::size_t>(state.range(1));
+  auto data = kernelBenchData(rows, dims);
+  num::simd::setTarget(target);
+  for (auto _ : state) {
+    num::simd::dotRowsBlocked(data.weights.data(), rows, data.x,
+                              data.dots.data());
+    benchmark::DoNotOptimize(data.dots.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rows * dims));
+  num::simd::setTarget(num::simd::avx2Available() ? num::simd::Target::Avx2
+                                                  : num::simd::Target::Scalar);
+}
+
+void BM_RadiusKernelScalar(benchmark::State& state) {
+  radiusKernelBody(state, num::simd::Target::Scalar);
+}
+BENCHMARK(BM_RadiusKernelScalar)
+    ->Args({16, 8})
+    ->Args({256, 64})
+    ->Args({4096, 512});
+
+void BM_RadiusKernelSimd(benchmark::State& state) {
+  radiusKernelBody(state, num::simd::Target::Avx2);
+}
+BENCHMARK(BM_RadiusKernelSimd)
+    ->Args({16, 8})
+    ->Args({256, 64})
+    ->Args({4096, 512});
+
+// BM_FullEvaluate / BM_MetricOnlyPruned compare the full evaluate() (report
+// strings, boundary points, per-row radii) against the metric-only lane on
+// the same synthetic rows x dims problem at a non-default origin (so the
+// metric lane pays its kernel dot pass instead of the compiled-default
+// cache). The tolerance levels are spread so most rows lose to the incumbent
+// early and the pruning branch does real work.
+core::CompiledProblem metricBenchProblem(std::size_t rows, std::size_t dims) {
+  Pcg32 rng(6);
+  core::ProblemSpec spec;
+  spec.parameter.name = "pi";
+  spec.parameter.origin.resize(dims);
+  for (double& v : spec.parameter.origin) {
+    v = rng.uniform(0.5, 1.5);
+  }
+  spec.features.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    num::Vec weights(dims);
+    for (double& w : weights) {
+      w = rng.uniform(0.1, 2.0);
+    }
+    double atOrigin = 0.0;
+    for (std::size_t k = 0; k < dims; ++k) {
+      atOrigin += weights[k] * spec.parameter.origin[k];
+    }
+    spec.features.push_back(core::PerformanceFeature{
+        "F_" + std::to_string(r),
+        core::ImpactFunction::affine(std::move(weights)),
+        core::ToleranceBounds::atMost(atOrigin * rng.uniform(1.05, 4.0))});
+  }
+  return core::CompiledProblem::compile(std::move(spec));
+}
+
+num::Vec perturbedOrigin(const core::CompiledProblem& problem) {
+  Pcg32 rng(7);
+  num::Vec origin(problem.parameter().origin);
+  for (double& v : origin) {
+    v *= rng.uniform(0.99, 1.01);
+  }
+  return origin;
+}
+
+void BM_FullEvaluate(benchmark::State& state) {
+  const auto problem =
+      metricBenchProblem(static_cast<std::size_t>(state.range(0)),
+                         static_cast<std::size_t>(state.range(1)));
+  const num::Vec origin = perturbedOrigin(problem);
+  core::AnalysisInstance instance;
+  instance.origin = origin;
+  core::EvalWorkspace workspace;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem.evaluate(instance, workspace).metric);
+  }
+}
+BENCHMARK(BM_FullEvaluate)->Args({16, 8})->Args({256, 64})->Args({4096, 512});
+
+void BM_MetricOnlyPruned(benchmark::State& state) {
+  const auto problem =
+      metricBenchProblem(static_cast<std::size_t>(state.range(0)),
+                         static_cast<std::size_t>(state.range(1)));
+  const num::Vec origin = perturbedOrigin(problem);
+  core::AnalysisInstance instance;
+  instance.origin = origin;
+  core::MetricWorkspace workspace;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        problem.evaluateMetric(instance, workspace).metric);
+  }
+}
+BENCHMARK(BM_MetricOnlyPruned)
+    ->Args({16, 8})
+    ->Args({256, 64})
+    ->Args({4096, 512});
+
+// The HiPer-D metric lane against the full compiled analyze() (same mapping
+// rotation as BM_CompiledReanalyzeHiperd): the per-mapping cost a search
+// objective pays.
+void BM_HiperdMetricOnly(benchmark::State& state) {
+  const auto generated =
+      hiperd::generateScenario(hiperd::ScenarioOptions{}, 2003);
+  const auto mappings = benchHiperdMappings(generated.scenario, 64);
+  const hiperd::CompiledScenario compiled = generated.scenario.compile();
+  hiperd::ScenarioWorkspace workspace;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compiled.analyzeMetric(mappings[i], workspace).metric);
+    i = (i + 1) % mappings.size();
+  }
+}
+BENCHMARK(BM_HiperdMetricOnly);
 
 // Console reporter that also records every per-iteration run (aggregates
 // like mean/stddev are skipped) so main() can emit them as a run report.

@@ -1,13 +1,18 @@
 // Schema validator for the observability artifacts CI uploads:
 //
 //   report_check REPORT.json [REPORT2.json ...] [--trace TRACE.json]
+//                [--require BENCH_NAME ...]
 //
 // Each positional argument must be a robust.run_report document (schema
 // version 1, see include/robust/obs/report.hpp); --trace additionally
-// validates a Chrome trace-event export (the ROBUST_TRACE output). Exits 0
-// when every file validates, 1 with one message per violation otherwise —
-// so a workflow step can gate on malformed or schema-drifted artifacts
-// instead of archiving garbage.
+// validates a Chrome trace-event export (the ROBUST_TRACE output). Each
+// --require NAME asserts that every report contains at least one benchmark
+// entry named NAME or NAME/<args> — so CI fails when a committed benchmark
+// report silently loses a benchmark (renamed, filtered out, or crashed)
+// instead of archiving a hollow artifact. Exits 0 when every file
+// validates, 1 with one message per violation otherwise — so a workflow
+// step can gate on malformed or schema-drifted artifacts instead of
+// archiving garbage.
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -94,7 +99,8 @@ void checkMetricsSection(Checker& check, const Value& metrics) {
   }
 }
 
-int checkRunReport(const std::string& path) {
+int checkRunReport(const std::string& path,
+                   const std::vector<std::string>& required) {
   Checker check(path);
   Value doc;
   try {
@@ -150,6 +156,31 @@ int checkRunReport(const std::string& path) {
       }
       check.expect(row.find("value"), Kind::Number, prefix + ".value");
       check.expect(row.find("unit"), Kind::String, prefix + ".unit");
+    }
+    // A benchmark entry satisfies --require NAME when it is named exactly
+    // NAME or NAME/<args> (google-benchmark appends /arg0/arg1... for
+    // parameterized runs).
+    for (const std::string& want : required) {
+      bool found = false;
+      for (const Value& row : benchmarks->array) {
+        if (row.kind != Kind::Object) {
+          continue;
+        }
+        const Value* name = row.find("name");
+        if (name == nullptr || name->kind != Kind::String) {
+          continue;
+        }
+        if (name->string == want ||
+            (name->string.size() > want.size() + 1 &&
+             name->string.compare(0, want.size(), want) == 0 &&
+             name->string[want.size()] == '/')) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        check.fail("required benchmark '" + want + "' is missing");
+      }
     }
   }
 
@@ -212,8 +243,12 @@ int checkTrace(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  constexpr const char* kUsage =
+      "usage: report_check REPORT.json ... [--trace TRACE.json] "
+      "[--require BENCH_NAME]\n";
   std::vector<std::string> reports;
   std::vector<std::string> traces;
+  std::vector<std::string> required;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace") {
@@ -222,21 +257,31 @@ int main(int argc, char** argv) {
         return 2;
       }
       traces.emplace_back(argv[++i]);
+    } else if (arg == "--require") {
+      if (i + 1 == argc) {
+        std::cerr << "report_check: --require needs a benchmark name\n";
+        return 2;
+      }
+      required.emplace_back(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: report_check REPORT.json ... [--trace TRACE.json]\n";
+      std::cout << kUsage;
       return 0;
     } else {
       reports.push_back(arg);
     }
   }
   if (reports.empty() && traces.empty()) {
-    std::cerr << "usage: report_check REPORT.json ... [--trace TRACE.json]\n";
+    std::cerr << kUsage;
+    return 2;
+  }
+  if (!required.empty() && reports.empty()) {
+    std::cerr << "report_check: --require needs at least one report\n";
     return 2;
   }
 
   int failures = 0;
   for (const std::string& path : reports) {
-    failures += checkRunReport(path);
+    failures += checkRunReport(path, required);
   }
   for (const std::string& path : traces) {
     failures += checkTrace(path);

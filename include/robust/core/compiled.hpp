@@ -72,6 +72,31 @@ class EvalWorkspace {
   num::Vec scaledRow_;
 };
 
+/// The scalar outcome of the metric-only lane: rho and its argmin feature,
+/// without per-row radii, boundary points, or method strings. The metric
+/// and bindingFeature match what evaluate() reports (the lane is
+/// differentially pinned at <= 1e-12 relative; the argmin is identical).
+struct MetricResult {
+  double metric = 0.0;
+  std::size_t bindingFeature = 0;
+  bool floored = false;
+};
+
+/// Caller-owned scratch for the metric-only lane: the per-row dot buffer
+/// fed by the blocked kernels, the batch-mode tile buffer, and a full
+/// workspace for the callable/iterative fallback rows.
+class MetricWorkspace {
+ public:
+  MetricWorkspace() = default;
+
+ private:
+  friend class CompiledProblem;
+  num::Vec dots_;       ///< per-row w.origin for one instance
+  num::Vec batchDots_;  ///< instance-tile x rows, batch mode
+  RadiusReport scratch_;
+  EvalWorkspace full_;
+};
+
 /// One affine performance feature expressed as raw spans: the input to
 /// evaluateAffineRadius() for derivation layers (e.g. HiPer-D's compiled
 /// scenario) that materialize per-query weight rows into their own
@@ -89,11 +114,15 @@ struct AffineFeatureView {
 /// `out`, reusing its buffers; `name` is copied into out.feature.
 /// `dualNormHint`, when positive, must equal the dual norm of the weights
 /// under options.norm (pass a precomputed value to skip recomputation).
+/// `weightedDenomHint`, when positive, must equal sum(a_i^2 / w_i) for the
+/// weighted norm (the un-squared-rooted dual norm); it skips the per-call
+/// recomputation inside the boundary-point solve.
 void evaluateAffineRadius(const AffineFeatureView& feature,
                           std::span<const double> origin,
                           const AnalyzerOptions& options,
                           std::string_view name, RadiusReport& out,
-                          double dualNormHint = 0.0);
+                          double dualNormHint = 0.0,
+                          double weightedDenomHint = 0.0);
 
 /// Phase 1 + phase 2 of the engine. Immutable once compiled; evaluate() is
 /// const and reentrant, so one compiled problem may serve many threads as
@@ -156,6 +185,50 @@ class CompiledProblem {
       std::span<const AnalysisInstance> instances,
       std::size_t threads = 0) const;
 
+  /// True when the metric-only lane runs on the blocked kernels (the
+  /// compiled solver resolves to Analytic for affine rows). Otherwise
+  /// evaluateMetric falls back to the full evaluate() arithmetic.
+  [[nodiscard]] bool metricKernelLane() const noexcept { return fastSolver_; }
+
+  /// The metric-only lane: computes rho and its argmin feature without
+  /// materializing per-row boundary points or report strings. Affine rows
+  /// run on the blocked SIMD kernels (robust/numeric/simd.hpp), so the
+  /// result is deterministic across runs, thread counts, and dispatch
+  /// targets, and is within 1e-12 relative of evaluate() (same argmin).
+  ///
+  /// With `prune` (the default), once an incumbent min radius rho-hat is
+  /// held, a row whose bound |f(origin) - nearest level| / dualNorm
+  /// provably exceeds rho-hat (by a 1e-9 relative margin absorbing the
+  /// comparison rounding) is skipped: pruning never changes the returned
+  /// bits, only skips provable losers. `prune = false` exists to pin that
+  /// equality in tests.
+  MetricResult evaluateMetric(const AnalysisInstance& instance,
+                              MetricWorkspace& workspace,
+                              bool prune = true) const;
+
+  /// Convenience: metric lane with a throwaway workspace.
+  [[nodiscard]] MetricResult evaluateMetric(
+      const AnalysisInstance& instance) const;
+
+  /// Convenience: metric lane at the compiled defaults (cached per-row
+  /// origin dots make this O(rows) with no kernel pass).
+  [[nodiscard]] MetricResult evaluateMetric() const;
+
+  /// Metric lane over a batch, cache-blocked over (instances x rows):
+  /// instances are processed in small tiles and the weight matrix is
+  /// streamed in row chunks across each tile, so a stripe of rows stays
+  /// cached while every instance in the tile consumes it. Same static
+  /// block partition as analyzeBatch: results are bit-identical for every
+  /// thread count.
+  void analyzeBatchMetric(std::span<const AnalysisInstance> instances,
+                          std::span<MetricResult> out,
+                          std::size_t threads = 0, bool prune = true) const;
+
+  /// analyzeBatchMetric into a freshly allocated result vector.
+  [[nodiscard]] std::vector<MetricResult> analyzeBatchMetric(
+      std::span<const AnalysisInstance> instances, std::size_t threads = 0,
+      bool prune = true) const;
+
  private:
   CompiledProblem() = default;
 
@@ -166,6 +239,23 @@ class CompiledProblem {
                       double constant, double scale,
                       std::span<const double> weights, SolverKind solver,
                       RadiusReport& out) const;
+
+  /// Validates an instance's origin/constants/scales sizes and resolves the
+  /// effective origin (shared by the full and metric lanes).
+  [[nodiscard]] std::span<const double> resolveOrigin(
+      const AnalysisInstance& instance) const;
+
+  /// Number of packed affine rows.
+  [[nodiscard]] std::size_t rowCount() const noexcept {
+    return dim_ == 0 ? 0 : weights_.size() / dim_;
+  }
+
+  /// The metric-lane core: per-feature radii from precomputed row dots
+  /// (dots[r] = row_r . origin), incumbent pruning, discrete floor, obs.
+  MetricResult metricFromDots(const AnalysisInstance& instance,
+                              std::span<const double> origin,
+                              const double* dots, bool prune,
+                              MetricWorkspace& workspace) const;
 
   [[nodiscard]] std::span<const double> rowOf(std::size_t feature) const {
     return {weights_.data() + rowIndex_[feature] * dim_, dim_};
@@ -184,6 +274,16 @@ class CompiledProblem {
   /// Per affine row, the dual norm under each NormKind (indexed by the enum
   /// value; the Weighted entry is NaN without compiled norm weights).
   std::vector<double> dualNorms_[4];
+  /// Per affine row, sum(a_i^2 / w_i) (the weighted dual norm before the
+  /// sqrt) when norm weights are compiled in, NaN otherwise. Hoists the
+  /// per-evaluate recomputation out of the weighted boundary-point solve.
+  std::vector<double> weightedDenom_;
+  /// Per affine row, row . defaultOrigin computed once with the blocked
+  /// kernels: the metric lane at the compiled defaults needs no dot pass.
+  std::vector<double> dotOrigin_;
+  /// True when the compiled solver resolves to Analytic for affine rows,
+  /// i.e. the metric lane may use the kernel fast path.
+  bool fastSolver_ = false;
   std::vector<std::size_t> callables_;  ///< feature indices, input order
 };
 

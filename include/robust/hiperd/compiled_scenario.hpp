@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "robust/core/compiled.hpp"
 #include "robust/core/report.hpp"
 #include "robust/hiperd/system.hpp"
+#include "robust/scheduling/heuristics.hpp"
 #include "robust/scheduling/mapping.hpp"
 
 namespace robust::hiperd {
@@ -96,6 +98,28 @@ class CompiledScenario {
   [[nodiscard]] std::vector<core::RobustnessReport> analyzeMappings(
       std::span<const sched::Mapping> mappings, std::size_t threads = 0) const;
 
+  /// Metric-only lane: rho (Eq. 11, floored) and its argmin slot without
+  /// materializing per-feature reports. Dots and dual norms of the
+  /// scenario-fixed parts are precomputed at compile time and combined per
+  /// mapping with the blocked kernels (robust/numeric/simd.hpp); the Tn
+  /// lane's contribution collapses to one precomputed (min, argmin) pair.
+  /// The result is within 1e-12 relative of analyze().metric, with the same
+  /// bindingFeature, and deterministic across runs and dispatch targets.
+  ///
+  /// With `prune` (the default), latency rows whose triangle-inequality
+  /// lower bound (nearest-level gap over the sum of part dual norms)
+  /// provably exceeds the incumbent are skipped without ever assembling
+  /// the row; pruning never changes the returned bits (`prune = false`
+  /// pins that equality in tests). Falls back to the full analyze() when
+  /// !fastPath().
+  [[nodiscard]] core::MetricResult analyzeMetric(const sched::Mapping& mapping,
+                                                 ScenarioWorkspace& workspace,
+                                                 bool prune = true) const;
+
+  /// Convenience: metric lane with a throwaway workspace.
+  [[nodiscard]] core::MetricResult analyzeMetric(
+      const sched::Mapping& mapping) const;
+
  private:
   [[nodiscard]] const num::Vec& computeCoeffs(std::size_t app,
                                               std::size_t machine) const;
@@ -121,6 +145,29 @@ class CompiledScenario {
 
   /// Latency (L) lane: interned names, one per path.
   std::vector<std::string> latencyNames_;
+
+  /// Metric-lane precompute (fast path only): per-(app, machine) compute
+  /// dots against lambdaOrig and dual norms, per-edge comm dots and duals,
+  /// the Tn lane's pre-reduced (min, earliest argmin), and whether the
+  /// latency triangle-inequality prune is sound (all coefficients and
+  /// origin loads non-negative, so no cancellation: a zero part-dual sum
+  /// proves the assembled row is zero, and the decomposed dot's rounding
+  /// is bounded by the magnitude sum).
+  std::vector<double> computeDot_;   ///< [app * machines + machine]
+  std::vector<double> computeDual_;  ///< [app * machines + machine]
+  std::vector<double> commDot_;      ///< [edge id]
+  std::vector<double> commDual_;     ///< [edge id]
+  double tnMinRadius_ = std::numeric_limits<double>::infinity();
+  std::size_t tnArgmin_ = 0;
+  bool latencyPruneSafe_ = false;
 };
+
+/// Mapping objective for the iterative optimizers (annealMapping and the
+/// shape-generic localSearch / geneticAlgorithm overloads): the negated
+/// analyzeMetric metric, so minimizing it maximizes HiPer-D robustness.
+/// The returned closure owns a reusable workspace shared by its copies; use
+/// it from one thread at a time. `compiled` must outlive the closure.
+[[nodiscard]] sched::MappingObjective robustnessObjective(
+    const CompiledScenario& compiled);
 
 }  // namespace robust::hiperd

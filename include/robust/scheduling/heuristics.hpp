@@ -128,8 +128,19 @@ struct TabuOptions {
                                  const MappingObjective& objective,
                                  const TabuOptions& options = {});
 
+/// Steepest-descent local search over single-application reassignments for
+/// an arbitrary assignment problem: only the mapping shape (apps x
+/// machines) and the objective are needed. This is the entry point for
+/// non-ETC systems (e.g. maximizing the HiPer-D robustness metric through
+/// hiperd::robustnessObjective).
+[[nodiscard]] Mapping localSearch(std::size_t apps, std::size_t machines,
+                                  Mapping start,
+                                  const MappingObjective& objective,
+                                  int maxRounds = 1000);
+
 /// Steepest-descent local search: repeatedly applies the single-application
-/// reassignment that most improves `objective`, until no move improves.
+/// reassignment that most improves `objective`, until no move improves
+/// (ETC-shaped convenience wrapper around the shape-generic overload).
 [[nodiscard]] Mapping localSearch(const EtcMatrix& etc, Mapping start,
                                   const MappingObjective& objective,
                                   int maxRounds = 1000);
@@ -194,6 +205,15 @@ struct GeneticOptions {
   int eliteCount = 2;
   std::uint64_t seed = 1;
 };
+
+/// Genetic algorithm over assignment vectors for an arbitrary assignment
+/// problem (uniform crossover, per-gene mutation, tournament selection,
+/// elitism); only the mapping shape and the objective are needed. Same RNG
+/// stream as the ETC overloads, so equal objectives produce equal results.
+[[nodiscard]] Mapping geneticAlgorithm(std::size_t apps, std::size_t machines,
+                                       Mapping seedMapping,
+                                       const MappingObjective& objective,
+                                       const GeneticOptions& options = {});
 
 /// Genetic algorithm over assignment vectors (uniform crossover, per-gene
 /// mutation, tournament selection, elitism). Population is seeded with the

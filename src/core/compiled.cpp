@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "robust/numeric/hyperplane.hpp"
+#include "robust/numeric/simd.hpp"
 #include "robust/obs/metrics.hpp"
 #include "robust/obs/trace.hpp"
 #include "robust/util/error.hpp"
@@ -44,9 +45,13 @@ double dualNorm(std::span<const double> a, NormKind norm,
 /// into `out` (buffer reuse; the arithmetic matches the legacy analyzer
 /// exactly). `gap` is c - a.x0, which every caller has already computed from
 /// the same dot product the legacy code used, so the bits are unchanged.
+/// `weightedDenom`, when positive, must equal sum(a_i^2 / w_i); the
+/// recomputation it replaces accumulates in the identical order, so passing
+/// the hoisted value leaves every produced bit unchanged.
 void nearestOnHyperplaneInto(std::span<const double> a, double gap,
                              std::span<const double> x0, NormKind norm,
-                             std::span<const double> weights, num::Vec& out) {
+                             std::span<const double> weights, num::Vec& out,
+                             double weightedDenom = 0.0) {
   out.assign(x0.begin(), x0.end());
   switch (norm) {
     case NormKind::L2: {
@@ -75,9 +80,12 @@ void nearestOnHyperplaneInto(std::span<const double> a, double gap,
     }
     case NormKind::Weighted: {
       // Lagrange: d_i = nu * a_i / w_i with nu = gap / sum(a_i^2 / w_i).
-      double denom = 0.0;
-      for (std::size_t i = 0; i < a.size(); ++i) {
-        denom += a[i] * a[i] / weights[i];
+      double denom = weightedDenom;
+      if (denom <= 0.0) {
+        denom = 0.0;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          denom += a[i] * a[i] / weights[i];
+        }
       }
       const double nu = gap / denom;
       for (std::size_t i = 0; i < a.size(); ++i) {
@@ -207,7 +215,7 @@ void evaluateAffineRadius(const AffineFeatureView& feature,
                           std::span<const double> origin,
                           const AnalyzerOptions& options,
                           std::string_view name, RadiusReport& out,
-                          double dualNormHint) {
+                          double dualNormHint, double weightedDenomHint) {
   out.feature.assign(name.data(), name.size());
   const double dotOrigin = num::dot(feature.weights, origin);
   const double atOrigin = dotOrigin + feature.constant;
@@ -262,8 +270,8 @@ void evaluateAffineRadius(const AffineFeatureView& feature,
   out.method = analyticMethodName(options.norm);
   nearestOnHyperplaneInto(feature.weights,
                           (bestLevel - feature.constant) - dotOrigin, origin,
-                          options.norm, options.normWeights,
-                          out.boundaryPoint);
+                          options.norm, options.normWeights, out.boundaryPoint,
+                          weightedDenomHint);
 }
 
 CompiledProblem CompiledProblem::compile(ProblemSpec spec) {
@@ -315,6 +323,7 @@ CompiledProblem CompiledProblem::compile(ProblemSpec spec) {
   for (int k = 0; k < 4; ++k) {
     p.dualNorms_[k].assign(rows, std::numeric_limits<double>::quiet_NaN());
   }
+  p.weightedDenom_.assign(rows, std::numeric_limits<double>::quiet_NaN());
   const bool haveWeighted = p.options_.normWeights.size() == p.dim_;
   for (std::size_t i = 0; i < n; ++i) {
     if (p.rowIndex_[i] == kNoRow) {
@@ -335,8 +344,25 @@ CompiledProblem CompiledProblem::compile(ProblemSpec spec) {
     if (haveWeighted) {
       p.dualNorms_[static_cast<int>(NormKind::Weighted)][r] =
           dualNorm(row, NormKind::Weighted, p.options_.normWeights);
+      // The un-sqrted dual norm, accumulated in the exact order the
+      // per-evaluate recomputation used: passing it as a hint later
+      // changes no bits.
+      double s = 0.0;
+      for (std::size_t k = 0; k < p.dim_; ++k) {
+        s += row[k] * row[k] / p.options_.normWeights[k];
+      }
+      p.weightedDenom_[r] = s;
     }
   }
+
+  // The metric lane's kernel fast path applies when affine rows resolve to
+  // the analytic solver; cache their default-origin dots (blocked kernel
+  // order — the lane's own arithmetic, not the legacy element order).
+  p.fastSolver_ = p.options_.solver == SolverKind::Auto ||
+                  p.options_.solver == SolverKind::Analytic;
+  p.dotOrigin_.resize(rows);
+  num::simd::dotRowsBlocked(p.weights_.data(), rows, p.parameter_.origin,
+                            p.dotOrigin_.data());
   return p;
 }
 
@@ -370,6 +396,9 @@ void CompiledProblem::radiusOfInto(std::size_t index,
     }
     std::span<const double> w = rowOf(index);
     double hint = dualNorms_[static_cast<int>(options_.norm)][rowIndex_[index]];
+    double weightedHint = options_.norm == NormKind::Weighted
+                              ? weightedDenom_[rowIndex_[index]]
+                              : 0.0;
     if (scale != 1.0) {
       ROBUST_REQUIRE(scale > 0.0,
                      "CompiledProblem: instance scales must be positive");
@@ -378,11 +407,12 @@ void CompiledProblem::radiusOfInto(std::size_t index,
         workspace.scaledRow_[k] = w[k] * scale;
       }
       w = workspace.scaledRow_;
-      hint = 0.0;  // recompute on the scaled row
+      hint = 0.0;          // recompute on the scaled row
+      weightedHint = 0.0;  // likewise
     }
     evaluateAffineRadius(
         AffineFeatureView{w, constant, f.bounds.min, f.bounds.max}, origin,
-        options_, f.name, out, hint);
+        options_, f.name, out, hint, weightedHint);
     return;
   }
 
@@ -451,8 +481,8 @@ void CompiledProblem::radiusSlowPath(std::size_t index,
   out = std::move(best);
 }
 
-const RobustnessReport& CompiledProblem::evaluate(
-    const AnalysisInstance& instance, EvalWorkspace& workspace) const {
+std::span<const double> CompiledProblem::resolveOrigin(
+    const AnalysisInstance& instance) const {
   const std::span<const double> origin =
       instance.origin.empty() ? std::span<const double>(parameter_.origin)
                               : instance.origin;
@@ -466,6 +496,13 @@ const RobustnessReport& CompiledProblem::evaluate(
   ROBUST_REQUIRE(instance.scales.empty() || instance.scales.size() == n,
                  "CompiledProblem: instance scales must have one entry per "
                  "feature");
+  return origin;
+}
+
+const RobustnessReport& CompiledProblem::evaluate(
+    const AnalysisInstance& instance, EvalWorkspace& workspace) const {
+  const std::span<const double> origin = resolveOrigin(instance);
+  const std::size_t n = features_.size();
 
   RobustnessReport& report = workspace.report_;
   report.radii.resize(n);
@@ -565,6 +602,219 @@ std::vector<RobustnessReport> CompiledProblem::analyzeBatch(
     std::span<const AnalysisInstance> instances, std::size_t threads) const {
   std::vector<RobustnessReport> out(instances.size());
   analyzeBatch(instances, out, threads);
+  return out;
+}
+
+MetricResult CompiledProblem::metricFromDots(const AnalysisInstance& instance,
+                                             std::span<const double> origin,
+                                             const double* dots, bool prune,
+                                             MetricWorkspace& workspace) const {
+  const std::size_t n = features_.size();
+  const auto normIdx = static_cast<int>(options_.norm);
+
+  MetricResult result;
+  result.metric = kInf;
+  result.bindingFeature = 0;
+  result.floored = false;
+  std::size_t pruned = 0;
+  std::size_t affineRows = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t row = rowIndex_[i];
+    double radius;
+    if (row == kNoRow) {
+      // Callable lane: same per-feature fallback the full path runs.
+      radiusOfInto(i, origin, constants_[i], 1.0, workspace.scratch_,
+                   workspace.full_);
+      radius = workspace.scratch_.radius;
+    } else {
+      ++affineRows;
+      const double constant =
+          !instance.constants.empty() ? instance.constants[i] : constants_[i];
+      const double scale =
+          !instance.scales.empty() ? instance.scales[i] : 1.0;
+      double atOrigin;
+      double deff;
+      if (scale == 1.0) {
+        atOrigin = dots[row] + constant;
+        deff = dualNorms_[normIdx][row];
+      } else {
+        ROBUST_REQUIRE(scale > 0.0,
+                       "CompiledProblem: instance scales must be positive");
+        // f(pi) = s*(w.pi) + c and ||s*w||_dual = s*||w||_dual: the lane
+        // rescales the two scalars instead of the whole row.
+        atOrigin = scale * dots[row] + constant;
+        deff = scale * dualNorms_[normIdx][row];
+      }
+      const auto& bounds = features_[i].bounds;
+      const bool withinMin = !bounds.min || atOrigin >= *bounds.min;
+      const bool withinMax = !bounds.max || atOrigin <= *bounds.max;
+      if (!withinMin || !withinMax) {
+        radius = 0.0;  // violated at the operating point
+      } else {
+        ROBUST_REQUIRE(
+            deff > 0.0,
+            "analytic radius: impact does not depend on the parameter");
+        // Nearest-level gap; dividing by the same positive denominator is
+        // monotone, so min(g)/d carries the exact bits of min(g/d).
+        double gap = kInf;
+        if (bounds.min) {
+          gap = std::fabs(atOrigin - *bounds.min);
+        }
+        if (bounds.max) {
+          const double g2 = std::fabs(atOrigin - *bounds.max);
+          if (g2 < gap) {
+            gap = g2;
+          }
+        }
+        if (prune && result.metric < kInf &&
+            gap > result.metric * deff * (1.0 + 1e-9)) {
+          // The margin absorbs the rounding of the multiply chain, so a
+          // skipped row provably has radius strictly above the incumbent:
+          // it can never win the strict-< selection below. Skipping it
+          // changes no result bits.
+          ++pruned;
+          continue;
+        }
+        radius = gap / deff;
+      }
+    }
+    if (radius < result.metric) {
+      result.metric = radius;
+      result.bindingFeature = i;
+    }
+  }
+  if (parameter_.discrete && std::isfinite(result.metric)) {
+    result.metric = std::floor(result.metric);
+    result.floored = true;
+  }
+  if (obs::enabled()) [[unlikely]] {
+    static const obs::MetricId kScalar =
+        obs::counterId("core.kernel.dispatch.scalar");
+    static const obs::MetricId kAvx2 =
+        obs::counterId("core.kernel.dispatch.avx2");
+    static const obs::MetricId kSkipped =
+        obs::counterId("core.prune.rows_skipped");
+    static const obs::MetricId kEffectiveness =
+        obs::gaugeId("core.prune.effectiveness");
+    obs::addCounter(num::simd::activeTarget() == num::simd::Target::Avx2
+                        ? kAvx2
+                        : kScalar);
+    obs::addCounter(kSkipped, pruned);
+    if (affineRows > 0) {
+      obs::setGauge(kEffectiveness,
+                    static_cast<std::int64_t>(pruned * 100 / affineRows));
+    }
+  }
+  return result;
+}
+
+MetricResult CompiledProblem::evaluateMetric(const AnalysisInstance& instance,
+                                             MetricWorkspace& workspace,
+                                             bool prune) const {
+  const std::span<const double> origin = resolveOrigin(instance);
+  if (!fastSolver_) {
+    // Iterative/Monte-Carlo solver configurations stay on the full lane.
+    const RobustnessReport& full = evaluate(instance, workspace.full_);
+    return MetricResult{full.metric, full.bindingFeature, full.floored};
+  }
+  const std::size_t rows = rowCount();
+  const double* dots;
+  if (instance.origin.empty()) {
+    dots = dotOrigin_.data();
+  } else {
+    workspace.dots_.resize(rows);
+    num::simd::dotRowsBlocked(weights_.data(), rows, origin,
+                              workspace.dots_.data());
+    dots = workspace.dots_.data();
+  }
+  return metricFromDots(instance, origin, dots, prune, workspace);
+}
+
+MetricResult CompiledProblem::evaluateMetric(
+    const AnalysisInstance& instance) const {
+  MetricWorkspace workspace;
+  return evaluateMetric(instance, workspace);
+}
+
+MetricResult CompiledProblem::evaluateMetric() const {
+  return evaluateMetric(AnalysisInstance{});
+}
+
+void CompiledProblem::analyzeBatchMetric(
+    std::span<const AnalysisInstance> instances, std::span<MetricResult> out,
+    std::size_t threads, bool prune) const {
+  ROBUST_REQUIRE(out.size() == instances.size(),
+                 "analyzeBatchMetric: output size does not match instance "
+                 "count");
+  const std::size_t n = instances.size();
+  if (n == 0) {
+    return;
+  }
+  const obs::Span span("core.analyzeBatchMetric");
+
+  // Tile geometry: a stripe of kRowChunk rows is consumed by every
+  // instance of a kTile-wide tile before the next stripe streams in, so
+  // the batch walks the weight matrix once per tile instead of once per
+  // instance (cache blocking over instances x rows).
+  constexpr std::size_t kTile = 8;
+  constexpr std::size_t kRowChunk = 64;
+  const std::size_t rows = rowCount();
+
+  auto runBlock = [&](std::size_t lo, std::size_t hi, MetricWorkspace& ws) {
+    if (!fastSolver_) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        out[i] = evaluateMetric(instances[i], ws, prune);
+      }
+      return;
+    }
+    for (std::size_t t0 = lo; t0 < hi; t0 += kTile) {
+      const std::size_t t1 = std::min(hi, t0 + kTile);
+      ws.batchDots_.resize((t1 - t0) * rows);
+      for (std::size_t r0 = 0; r0 < rows; r0 += kRowChunk) {
+        const std::size_t chunk = std::min(rows, r0 + kRowChunk) - r0;
+        for (std::size_t i = t0; i < t1; ++i) {
+          if (instances[i].origin.empty()) {
+            continue;  // compiled default: dots cached at compile time
+          }
+          const std::span<const double> origin = resolveOrigin(instances[i]);
+          num::simd::dotRowsBlocked(weights_.data() + r0 * dim_, chunk, origin,
+                                    ws.batchDots_.data() + (i - t0) * rows +
+                                        r0);
+        }
+      }
+      for (std::size_t i = t0; i < t1; ++i) {
+        const std::span<const double> origin = resolveOrigin(instances[i]);
+        const double* dots = instances[i].origin.empty()
+                                 ? dotOrigin_.data()
+                                 : ws.batchDots_.data() + (i - t0) * rows;
+        out[i] = metricFromDots(instances[i], origin, dots, prune, ws);
+      }
+    }
+  };
+
+  std::size_t workers = threads == 0 ? defaultThreadCount() : threads;
+  workers = std::min(workers, n);
+  if (workers <= 1) {
+    MetricWorkspace workspace;
+    runBlock(0, n, workspace);
+    return;
+  }
+  // One contiguous block per worker, same partition as analyzeBatch:
+  // results are independent of the worker count.
+  std::vector<MetricWorkspace> workspaces(workers);
+  parallelFor(
+      0, workers,
+      [&](std::size_t b) {
+        runBlock(n * b / workers, n * (b + 1) / workers, workspaces[b]);
+      },
+      workers);
+}
+
+std::vector<MetricResult> CompiledProblem::analyzeBatchMetric(
+    std::span<const AnalysisInstance> instances, std::size_t threads,
+    bool prune) const {
+  std::vector<MetricResult> out(instances.size());
+  analyzeBatchMetric(instances, out, threads, prune);
   return out;
 }
 

@@ -397,9 +397,11 @@ Mapping greedyRobustMapping(const EtcMatrix& etc, double tau) {
   return Mapping(std::move(assignment), etc.machines());
 }
 
-Mapping localSearch(const EtcMatrix& etc, Mapping start,
+Mapping localSearch(std::size_t apps, std::size_t machines, Mapping start,
                     const MappingObjective& objective, int maxRounds) {
   ROBUST_REQUIRE(static_cast<bool>(objective), "localSearch: null objective");
+  ROBUST_REQUIRE(start.apps() == apps && start.machines() == machines,
+                 "localSearch: start mapping does not match the shape");
   Mapping current = std::move(start);
   double currentValue = objective(current);
   for (int round = 0; round < maxRounds; ++round) {
@@ -407,9 +409,9 @@ Mapping localSearch(const EtcMatrix& etc, Mapping start,
     std::size_t bestApp = 0;
     std::size_t bestMachine = 0;
     bool improved = false;
-    for (std::size_t i = 0; i < etc.apps(); ++i) {
+    for (std::size_t i = 0; i < apps; ++i) {
       const std::size_t original = current.machineOf(i);
-      for (std::size_t j = 0; j < etc.machines(); ++j) {
+      for (std::size_t j = 0; j < machines; ++j) {
         if (j == original) {
           continue;
         }
@@ -431,6 +433,12 @@ Mapping localSearch(const EtcMatrix& etc, Mapping start,
     currentValue = bestValue;
   }
   return current;
+}
+
+Mapping localSearch(const EtcMatrix& etc, Mapping start,
+                    const MappingObjective& objective, int maxRounds) {
+  return localSearch(etc.apps(), etc.machines(), std::move(start), objective,
+                     maxRounds);
 }
 
 Mapping localSearch(const EtcMatrix& etc, Mapping start,
@@ -642,17 +650,21 @@ namespace {
 /// RNG stream and draw pattern in both, so equal fitness functions produce
 /// equal results.
 Mapping runGeneticAlgorithm(
-    const EtcMatrix& etc, const Mapping& seedMapping,
+    std::size_t shapeApps, std::size_t shapeMachines,
+    const Mapping& seedMapping,
     const std::function<double(const std::vector<std::size_t>&)>& evaluate,
     const GeneticOptions& options) {
   ROBUST_REQUIRE(options.populationSize >= 2 && options.generations > 0 &&
                      options.tournamentSize >= 1 && options.eliteCount >= 0 &&
                      options.eliteCount < options.populationSize,
                  "geneticAlgorithm: invalid options");
+  ROBUST_REQUIRE(
+      seedMapping.apps() == shapeApps && seedMapping.machines() == shapeMachines,
+      "geneticAlgorithm: seed mapping does not match the shape");
 
   Pcg32 rng(options.seed, /*stream=*/11);
-  const std::size_t apps = etc.apps();
-  const auto machines = static_cast<std::uint32_t>(etc.machines());
+  const std::size_t apps = shapeApps;
+  const auto machines = static_cast<std::uint32_t>(shapeMachines);
 
   struct Individual {
     std::vector<std::size_t> genes;
@@ -720,22 +732,30 @@ Mapping runGeneticAlgorithm(
   }
   const auto best = std::min_element(population.begin(), population.end(),
                                      byFitness);
-  return Mapping(best->genes, etc.machines());
+  return Mapping(best->genes, shapeMachines);
 }
 
 }  // namespace
 
-Mapping geneticAlgorithm(const EtcMatrix& etc, Mapping seedMapping,
+Mapping geneticAlgorithm(std::size_t apps, std::size_t machines,
+                         Mapping seedMapping,
                          const MappingObjective& objective,
                          const GeneticOptions& options) {
   ROBUST_REQUIRE(static_cast<bool>(objective),
                  "geneticAlgorithm: null objective");
   return runGeneticAlgorithm(
-      etc, seedMapping,
+      apps, machines, seedMapping,
       [&](const std::vector<std::size_t>& genes) {
-        return objective(Mapping(genes, etc.machines()));
+        return objective(Mapping(genes, machines));
       },
       options);
+}
+
+Mapping geneticAlgorithm(const EtcMatrix& etc, Mapping seedMapping,
+                         const MappingObjective& objective,
+                         const GeneticOptions& options) {
+  return geneticAlgorithm(etc.apps(), etc.machines(), std::move(seedMapping),
+                          objective, options);
 }
 
 Mapping geneticAlgorithm(const EtcMatrix& etc, Mapping seedMapping,
@@ -743,7 +763,7 @@ Mapping geneticAlgorithm(const EtcMatrix& etc, Mapping seedMapping,
                          const GeneticOptions& options) {
   ScratchEvaluator scratch(etc, evaluatorTau(objective));
   return runGeneticAlgorithm(
-      etc, seedMapping,
+      etc.apps(), etc.machines(), seedMapping,
       [&](const std::vector<std::size_t>& genes) {
         const EvalResult result = scratch.evaluate(genes);
         return objective.score(result.makespan, result.robustness);

@@ -18,10 +18,11 @@ std::vector<StudyPoint> runMakespanStudy(
   const obs::Span span("sim.runMakespanStudy");
   const auto estimates = system.estimatedTimes();
   const auto analysis = system.analyze();
-  // rho through the shared compiled engine (bit-identical to the Eq. 7
-  // closed form for this all-affine derivation); M_orig stays with the
-  // closed-form analysis.
-  const double rho = system.compile().evaluate().metric;
+  // rho through the compiled engine's metric-only lane (no per-feature
+  // boundary points or report strings are needed here; the lane is within
+  // 1e-12 relative of evaluate().metric and deterministic across runs);
+  // M_orig stays with the closed-form analysis.
+  const double rho = system.compile().evaluateMetric().metric;
   const double bound = system.tau() * analysis.predictedMakespan;
   const auto trials = static_cast<std::size_t>(options.trials);
 

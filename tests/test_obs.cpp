@@ -15,6 +15,10 @@
 #include <thread>
 #include <vector>
 
+#include "robust/core/compiled.hpp"
+#include "robust/hiperd/compiled_scenario.hpp"
+#include "robust/hiperd/generator.hpp"
+#include "robust/numeric/simd.hpp"
 #include "robust/obs/json_lite.hpp"
 #include "robust/obs/metrics.hpp"
 #include "robust/obs/report.hpp"
@@ -310,6 +314,87 @@ TEST_F(ObsReport, MetricsSectionCanBeOmitted) {
   obs::writeRunReport(out, report);
   const auto doc = obs::json::parse(out.str());
   EXPECT_EQ(doc.find("metrics"), nullptr);
+}
+
+// ----------------------------------------------------- metric-lane metrics
+
+/// A compiled problem whose first feature binds tightly and whose remaining
+/// rows are far from their bounds, so the metric lane's incumbent prune
+/// provably skips every row after the first.
+core::CompiledProblem pruneHeavyProblem() {
+  constexpr std::size_t kRows = 40;
+  constexpr std::size_t kDims = 8;
+  core::ProblemSpec spec;
+  spec.parameter.name = "pi";
+  spec.parameter.origin = num::Vec(kDims, 1.0);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    num::Vec weights(kDims, 1.0 + static_cast<double>(r % 3));
+    double atOrigin = 0.0;
+    for (std::size_t k = 0; k < kDims; ++k) {
+      atOrigin += weights[k] * spec.parameter.origin[k];
+    }
+    spec.features.push_back(core::PerformanceFeature{
+        "F_" + std::to_string(r),
+        core::ImpactFunction::affine(std::move(weights)),
+        core::ToleranceBounds::atMost(atOrigin + (r == 0 ? 0.01 : 100.0))});
+  }
+  return core::CompiledProblem::compile(std::move(spec));
+}
+
+TEST_F(ObsMetrics, MetricLaneRecordsDispatchAndPruneMetrics) {
+  const auto problem = pruneHeavyProblem();
+  const num::Vec origin(8, 1.001);  // non-default: forces the kernel pass
+  core::AnalysisInstance instance;
+  instance.origin = origin;
+
+  num::simd::setTarget(num::simd::Target::Scalar);
+  (void)problem.evaluateMetric(instance);
+  auto snapshot = obs::snapshotMetrics();
+  EXPECT_EQ(snapshot.counter("core.kernel.dispatch.scalar"), 1u);
+  EXPECT_EQ(snapshot.counter("core.kernel.dispatch.avx2"), 0u);
+  // Row 0 binds; every later row's gap lower bound exceeds the incumbent.
+  EXPECT_EQ(snapshot.counter("core.prune.rows_skipped"), 39u);
+  EXPECT_EQ(snapshot.gauge("core.prune.effectiveness"), 39 * 100 / 40);
+
+  if (num::simd::avx2Available()) {
+    num::simd::setTarget(num::simd::Target::Avx2);
+    (void)problem.evaluateMetric(instance);
+    snapshot = obs::snapshotMetrics();
+    EXPECT_EQ(snapshot.counter("core.kernel.dispatch.avx2"), 1u);
+  }
+  num::simd::setTarget(num::simd::avx2Available() ? num::simd::Target::Avx2
+                                                  : num::simd::Target::Scalar);
+}
+
+TEST_F(ObsMetrics, MetricLaneRecordsNothingWhenDisabled) {
+  const auto problem = pruneHeavyProblem();
+  const num::Vec origin(8, 1.001);
+  core::AnalysisInstance instance;
+  instance.origin = origin;
+  obs::setEnabled(false);
+  (void)problem.evaluateMetric(instance);
+  obs::setEnabled(true);
+  const auto snapshot = obs::snapshotMetrics();
+  EXPECT_EQ(snapshot.counter("core.kernel.dispatch.scalar"), 0u);
+  EXPECT_EQ(snapshot.counter("core.kernel.dispatch.avx2"), 0u);
+  EXPECT_EQ(snapshot.counter("core.prune.rows_skipped"), 0u);
+  EXPECT_EQ(snapshot.gauge("core.prune.effectiveness"), 0);
+}
+
+TEST_F(ObsMetrics, HiperdMetricLaneRecordsAnalyzeCounter) {
+  const auto generated =
+      hiperd::generateScenario(hiperd::ScenarioOptions{}, 2003);
+  const hiperd::CompiledScenario compiled = generated.scenario.compile();
+  Pcg32 rng(4);
+  const auto mapping = sched::randomMapping(
+      generated.scenario.graph.applicationCount(),
+      generated.scenario.machines, rng);
+  (void)compiled.analyzeMetric(mapping);
+  const auto snapshot = obs::snapshotMetrics();
+  EXPECT_EQ(snapshot.counter("hiperd.analyze_metric"), 1u);
+  EXPECT_GE(snapshot.counter("core.kernel.dispatch.scalar") +
+                snapshot.counter("core.kernel.dispatch.avx2"),
+            1u);
 }
 
 // ---------------------------------------------------------------- overhead
