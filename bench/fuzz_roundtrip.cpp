@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "robust/core/instance_file.hpp"
 #include "robust/hiperd/generator.hpp"
 #include "robust/hiperd/scenario_io.hpp"
 #include "robust/scheduling/etc_io.hpp"
@@ -112,6 +113,53 @@ void probe(const std::string& text, FuzzCounts& counts, LoadFn load,
   }
 }
 
+/// A valid binary instance-file image (the streaming lane's format),
+/// random shape, packed through the fail-fast writer.
+std::string randomInstanceImage(std::uint64_t master, std::uint64_t seed,
+                                std::vector<double>* values = nullptr) {
+  Pcg32 rng = makeStream(master, seed ^ 0xb117);
+  const std::uint64_t dim = 1 + rng.nextBounded(16);
+  const std::uint64_t count = 1 + rng.nextBounded(40);
+  std::ostringstream out(std::ios::binary);
+  core::InstanceFileWriter writer(out, dim);
+  std::vector<double> row(dim);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    for (double& v : row) {
+      v = rng.uniform(-50.0, 50.0);
+    }
+    writer.append(row);
+    if (values != nullptr) {
+      values->insert(values->end(), row.begin(), row.end());
+    }
+  }
+  writer.finish();
+  return out.str();
+}
+
+/// The binary-format analogue of probe(): loadInstanceData over a byte
+/// image, admitting only finite values.
+void probeImage(const std::string& image, FuzzCounts& counts) {
+  try {
+    const util::Diagnostics diag("fuzz.rbi");
+    const core::InstanceData data = core::loadInstanceData(image, diag);
+    bool finite = true;
+    for (double v : data.values) {
+      finite = finite && std::isfinite(v);
+    }
+    if (finite) {
+      ++counts.loaded;
+    } else {
+      ++counts.wrongException;
+      report(false, "binary loader admitted non-finite values");
+    }
+  } catch (const InvalidArgumentError&) {
+    ++counts.rejected;
+  } catch (const std::exception& err) {
+    ++counts.wrongException;
+    report(false, std::string("unexpected exception type: ") + err.what());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -177,6 +225,26 @@ int main(int argc, char** argv) {
     }
   }
 
+  int binaryRoundTrips = 0;
+  for (std::uint64_t s = 0; s < etcCases; ++s) {
+    std::vector<double> expected;
+    const std::string image = randomInstanceImage(seed, s, &expected);
+    try {
+      const util::Diagnostics diag("roundtrip.rbi");
+      const core::InstanceData data = core::loadInstanceData(image, diag);
+      bool same = data.values.size() == expected.size();
+      for (std::size_t i = 0; same && i < expected.size(); ++i) {
+        same = data.values[i] == expected[i];  // bitwise: all finite
+      }
+      report(same, "binary instance round trip not bit-identical at seed " +
+                       std::to_string(s));
+      ++binaryRoundTrips;
+    } catch (const std::exception& err) {
+      report(false,
+             std::string("binary instance round trip threw: ") + err.what());
+    }
+  }
+
   // ------------------------------------------------- phase 2: mutations
   std::stringstream etcStream;
   sched::saveEtcCsv(randomEtc(seed, 7), etcStream);
@@ -230,8 +298,25 @@ int main(int argc, char** argv) {
           });
   }
 
+  FuzzCounts binaryCounts;
+  const std::string binaryImage = randomInstanceImage(seed, 7);
+  Pcg32 binRng = makeStream(seed, 0xb17);
+  for (int i = 0; i < mutations; ++i) {
+    probeImage(util::mutateBytes(binaryImage, binRng), binaryCounts);
+  }
+
   // ------------------------------------------------ phase 3: truncation
   FuzzCounts truncCounts;
+  // Every strict prefix of a binary image must reject (the header pins the
+  // exact payload size); a prefix that loads is itself a violation.
+  {
+    const int loadedBefore = truncCounts.loaded;
+    for (std::size_t cut = 0; cut < binaryImage.size(); ++cut) {
+      probeImage(binaryImage.substr(0, cut), truncCounts);
+    }
+    report(truncCounts.loaded == loadedBefore,
+           "a strict binary prefix unexpectedly loaded");
+  }
   for (std::size_t cut = 0; cut < etcText.size(); ++cut) {
     probe(etcText.substr(0, cut), truncCounts,
           [](std::istream& is) { return sched::loadEtcCsv(is); },
@@ -255,8 +340,15 @@ int main(int argc, char** argv) {
              std::to_string(scenarioCounts.loaded),
              std::to_string(scenarioCounts.rejected),
              std::to_string(scenarioCounts.wrongException)});
+  table.addRow({"binary round trip", std::to_string(binaryRoundTrips), "-",
+             "-", "-"});
+  table.addRow({"binary mutation", std::to_string(mutations),
+             std::to_string(binaryCounts.loaded),
+             std::to_string(binaryCounts.rejected),
+             std::to_string(binaryCounts.wrongException)});
   table.addRow({"truncation sweep",
-             std::to_string(etcText.size() + scenarioText.size()),
+             std::to_string(binaryImage.size() + etcText.size() +
+                            scenarioText.size()),
              std::to_string(truncCounts.loaded),
              std::to_string(truncCounts.rejected),
              std::to_string(truncCounts.wrongException)});

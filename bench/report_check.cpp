@@ -2,6 +2,7 @@
 //
 //   report_check REPORT.json [REPORT2.json ...] [--trace TRACE.json]
 //                [--require BENCH_NAME ...]
+//                [--baseline BASE.json ...] [--max-slowdown F]
 //
 // Each positional argument must be a robust.run_report document (schema
 // version 1, see include/robust/obs/report.hpp); --trace additionally
@@ -9,13 +10,25 @@
 // --require NAME asserts that every report contains at least one benchmark
 // entry named NAME or NAME/<args> — so CI fails when a committed benchmark
 // report silently loses a benchmark (renamed, filtered out, or crashed)
-// instead of archiving a hollow artifact. Exits 0 when every file
-// validates, 1 with one message per violation otherwise — so a workflow
-// step can gate on malformed or schema-drifted artifacts instead of
-// archiving garbage.
+// instead of archiving a hollow artifact.
+//
+// --baseline turns on regression mode: every benchmark name a report
+// shares with BASE.json is compared value-against-value, and the check
+// fails when the report is worse than --max-slowdown (default 1.25) times
+// the baseline. "Worse" is unit-aware: for time-like units (ns, us, ...)
+// worse means larger; for rate units (anything ending in "/s") worse means
+// smaller, compared against base / max-slowdown. Units must match, and a
+// report sharing no benchmark name with the baseline fails outright — a
+// renamed benchmark must not silently drop out of the regression gate.
+//
+// Exits 0 when every file validates, 1 with one message per violation
+// otherwise — so a workflow step can gate on malformed, schema-drifted, or
+// regressed artifacts instead of archiving garbage.
 #include <cstdint>
 #include <iostream>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "robust/obs/json_lite.hpp"
@@ -191,6 +204,83 @@ int checkRunReport(const std::string& path,
   return check.failures();
 }
 
+/// name -> (value, unit) for every well-formed benchmark row of a report.
+/// Schema violations are checkRunReport's job; this only skips rows it
+/// cannot read.
+std::map<std::string, std::pair<double, std::string>> benchmarkMap(
+    const Value& doc) {
+  std::map<std::string, std::pair<double, std::string>> out;
+  const Value* benchmarks =
+      doc.kind == Kind::Object ? doc.find("benchmarks") : nullptr;
+  if (benchmarks == nullptr || benchmarks->kind != Kind::Array) {
+    return out;
+  }
+  for (const Value& row : benchmarks->array) {
+    if (row.kind != Kind::Object) {
+      continue;
+    }
+    const Value* name = row.find("name");
+    const Value* value = row.find("value");
+    const Value* unit = row.find("unit");
+    if (name == nullptr || name->kind != Kind::String ||
+        value == nullptr || value->kind != Kind::Number ||
+        unit == nullptr || unit->kind != Kind::String) {
+      continue;
+    }
+    out[name->string] = {value->number, unit->string};
+  }
+  return out;
+}
+
+/// Rate units ("instances/s", "ops/s") improve upward; everything else
+/// (ns, us, bytes) improves downward.
+bool isRateUnit(const std::string& unit) {
+  return unit.size() >= 2 && unit.compare(unit.size() - 2, 2, "/s") == 0;
+}
+
+int checkRegression(const std::string& reportPath,
+                    const std::string& baselinePath, double maxSlowdown) {
+  Checker check(reportPath);
+  Value report;
+  Value baseline;
+  try {
+    report = robust::obs::json::parseFile(reportPath);
+    baseline = robust::obs::json::parseFile(baselinePath);
+  } catch (const std::exception& err) {
+    check.fail(err.what());
+    return check.failures();
+  }
+  const auto current = benchmarkMap(report);
+  const auto base = benchmarkMap(baseline);
+  std::size_t shared = 0;
+  for (const auto& [name, baseEntry] : base) {
+    const auto it = current.find(name);
+    if (it == current.end()) {
+      continue;
+    }
+    ++shared;
+    const auto& [baseValue, baseUnit] = baseEntry;
+    const auto& [value, unit] = it->second;
+    if (unit != baseUnit) {
+      check.fail("benchmark '" + name + "' unit changed: '" + unit +
+                 "' vs baseline '" + baseUnit + "' (" + baselinePath + ")");
+      continue;
+    }
+    if (isRateUnit(unit) ? value < baseValue / maxSlowdown
+                         : value > baseValue * maxSlowdown) {
+      check.fail("benchmark '" + name + "' regressed: " +
+                 std::to_string(value) + " " + unit + " vs baseline " +
+                 std::to_string(baseValue) + " " + unit + " (" +
+                 baselinePath + ", max slowdown " +
+                 std::to_string(maxSlowdown) + "x)");
+    }
+  }
+  if (shared == 0) {
+    check.fail("shares no benchmark name with baseline " + baselinePath);
+  }
+  return check.failures();
+}
+
 int checkTrace(const std::string& path) {
   Checker check(path);
   Value doc;
@@ -245,10 +335,12 @@ int checkTrace(const std::string& path) {
 int main(int argc, char** argv) {
   constexpr const char* kUsage =
       "usage: report_check REPORT.json ... [--trace TRACE.json] "
-      "[--require BENCH_NAME]\n";
+      "[--require BENCH_NAME] [--baseline BASE.json] [--max-slowdown F]\n";
   std::vector<std::string> reports;
   std::vector<std::string> traces;
   std::vector<std::string> required;
+  std::vector<std::string> baselines;
+  double maxSlowdown = 1.25;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace") {
@@ -263,6 +355,26 @@ int main(int argc, char** argv) {
         return 2;
       }
       required.emplace_back(argv[++i]);
+    } else if (arg == "--baseline") {
+      if (i + 1 == argc) {
+        std::cerr << "report_check: --baseline needs a path\n";
+        return 2;
+      }
+      baselines.emplace_back(argv[++i]);
+    } else if (arg == "--max-slowdown") {
+      if (i + 1 == argc) {
+        std::cerr << "report_check: --max-slowdown needs a factor\n";
+        return 2;
+      }
+      try {
+        maxSlowdown = std::stod(argv[++i]);
+      } catch (const std::exception&) {
+        maxSlowdown = 0.0;
+      }
+      if (!(maxSlowdown >= 1.0)) {
+        std::cerr << "report_check: --max-slowdown must be a factor >= 1\n";
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::cout << kUsage;
       return 0;
@@ -278,10 +390,17 @@ int main(int argc, char** argv) {
     std::cerr << "report_check: --require needs at least one report\n";
     return 2;
   }
+  if (!baselines.empty() && reports.empty()) {
+    std::cerr << "report_check: --baseline needs at least one report\n";
+    return 2;
+  }
 
   int failures = 0;
   for (const std::string& path : reports) {
     failures += checkRunReport(path, required);
+    for (const std::string& baseline : baselines) {
+      failures += checkRegression(path, baseline, maxSlowdown);
+    }
   }
   for (const std::string& path : traces) {
     failures += checkTrace(path);

@@ -1,0 +1,248 @@
+// Throughput harness for the out-of-core streaming engine (DESIGN.md
+// section 4.11) — the producer of the committed BENCH_pr6.json.
+//
+//   stream_throughput --file BATCH.rbi [--rows 4096] [--reps 3]
+//                     [--warmup 1] [--threads 0] [--shard 4096]
+//                     [--sample 256] [--obs_report PATH]
+//
+// The instance file comes from `etc_pack gen` (its dimension fixes the
+// problem's); the problem is perf_kernels' metricBenchProblem family
+// (seed 6), so the serial bridge benchmark below is the same quantity
+// BENCH_pr5.json pinned. Before timing, the first --sample instances are
+// checked bit-identical between analyzeStreamValues and the serial
+// analyzeBatchMetric fold — a throughput number for a wrong answer is
+// worse than no number.
+//
+// Emitted benchmarks:
+//   BM_StreamMetricThroughput/<rows>/<dim>  instances/s  (best of --reps
+//       full-file sharded sweeps, screening on)
+//   BM_MetricOnlyPruned/<rows>/<dim>        ns           (serial
+//       single-instance metric, the BENCH_pr5 bridge)
+//
+// Exit code 0 on success, 1 on a differential mismatch or I/O error.
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <iostream>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "robust/core/compiled.hpp"
+#include "robust/core/instance_file.hpp"
+#include "robust/core/stream.hpp"
+#include "robust/numeric/simd.hpp"
+#include "robust/obs/report.hpp"
+#include "robust/util/args.hpp"
+#include "robust/util/mmap_file.hpp"
+#include "robust/util/rng.hpp"
+
+namespace {
+
+using namespace robust;
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// perf_kernels' metricBenchProblem, replicated draw-for-draw (seed 6):
+/// affine rows, atMost tolerances spread over [1.05, 4.0] x the origin
+/// value so pruning and screening have realistic work.
+core::CompiledProblem metricBenchProblem(std::size_t rows,
+                                         std::size_t dims) {
+  Pcg32 rng(6);
+  core::ProblemSpec spec;
+  spec.parameter.name = "pi";
+  spec.parameter.origin.resize(dims);
+  for (double& v : spec.parameter.origin) {
+    v = rng.uniform(0.5, 1.5);
+  }
+  spec.features.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    num::Vec weights(dims);
+    for (double& w : weights) {
+      w = rng.uniform(0.1, 2.0);
+    }
+    double atOrigin = 0.0;
+    for (std::size_t k = 0; k < dims; ++k) {
+      atOrigin += weights[k] * spec.parameter.origin[k];
+    }
+    spec.features.push_back(core::PerformanceFeature{
+        "F_" + std::to_string(r),
+        core::ImpactFunction::affine(std::move(weights)),
+        core::ToleranceBounds::atMost(atOrigin * rng.uniform(1.05, 4.0))});
+  }
+  return core::CompiledProblem::compile(std::move(spec));
+}
+
+bool bitEq(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// The serial reference fold over a materialized batch.
+core::StreamResult serialFold(const core::CompiledProblem& problem,
+                              std::span<const double> values) {
+  const std::size_t dim = problem.dimension();
+  const std::size_t n = values.size() / dim;
+  std::vector<core::AnalysisInstance> instances(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    instances[i] =
+        core::AnalysisInstance{{values.data() + i * dim, dim}, {}, {}};
+  }
+  std::vector<core::MetricResult> out(n);
+  problem.analyzeBatchMetric(instances, out, /*threads=*/1);
+  core::StreamResult result;
+  result.metric = std::numeric_limits<double>::infinity();
+  result.instances = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (out[i].metric < result.metric) {
+      result.metric = out[i].metric;
+      result.argminInstance = i;
+      result.bindingFeature = out[i].bindingFeature;
+      result.floored = out[i].floored;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const std::string filePath = args.getString("file", "");
+  if (filePath.empty()) {
+    std::cerr << "usage: stream_throughput --file BATCH.rbi [--rows 4096] "
+                 "[--reps 3] [--warmup 1] [--threads 0] [--shard 4096] "
+                 "[--sample 256] [--obs_report PATH]\n";
+    return 1;
+  }
+  const auto rows = static_cast<std::size_t>(args.getInt("rows", 4096));
+  const int reps = static_cast<int>(args.getInt("reps", 3));
+  const int warmup = static_cast<int>(args.getInt("warmup", 1));
+  const std::string reportPath = args.getString("obs_report", "");
+
+  core::StreamOptions options;
+  options.threads = static_cast<std::size_t>(args.getInt("threads", 0));
+  options.shardInstances =
+      static_cast<std::size_t>(args.getInt("shard", 4096));
+
+  try {
+    const core::InstanceFileReader reader(filePath);
+    const auto dim = static_cast<std::size_t>(reader.dim());
+    const std::uint64_t instances = reader.instances();
+    std::cout << "file " << filePath << ": " << instances << " x " << dim
+              << ", problem " << rows << " x " << dim << ", simd "
+              << num::simd::toString(num::simd::activeTarget()) << '\n';
+
+    const core::CompiledProblem problem = metricBenchProblem(rows, dim);
+
+    // ---- differential sanity on the head of the file ------------------
+    const auto sample = static_cast<std::uint64_t>(args.getInt(
+        "sample", static_cast<std::int64_t>(std::min<std::uint64_t>(
+                      256, instances))));
+    if (sample > 0 && sample <= instances) {
+      util::MmapFile::View view;
+      const std::span<const double> head =
+          reader.read(0, sample, view);
+      const core::StreamResult serial = serialFold(problem, head);
+      const core::StreamResult streamed =
+          core::analyzeStreamValues(problem, head, options);
+      if (!bitEq(serial.metric, streamed.metric) ||
+          serial.argminInstance != streamed.argminInstance ||
+          serial.bindingFeature != streamed.bindingFeature) {
+        std::cerr << "FAIL: streamed head diverges from serial fold "
+                     "(metric "
+                  << streamed.metric << " vs " << serial.metric << ")\n";
+        return 1;
+      }
+      std::cout << "differential: first " << sample
+                << " instances bit-identical to the serial fold\n";
+    }
+
+    // ---- timed sweeps -------------------------------------------------
+    core::StreamResult result;
+    double bestSeconds = std::numeric_limits<double>::infinity();
+    for (int rep = -warmup; rep < reps; ++rep) {
+      const auto start = Clock::now();
+      result = core::analyzeStream(problem, filePath, options);
+      const double elapsed = secondsSince(start);
+      if (rep >= 0 && elapsed < bestSeconds) {
+        bestSeconds = elapsed;
+      }
+    }
+    const double instPerSec =
+        static_cast<double>(result.instances) / bestSeconds;
+    const double screenedFraction =
+        result.instances == 0
+            ? 0.0
+            : static_cast<double>(result.screenedInstances) /
+                  static_cast<double>(result.instances);
+    std::cout << "BM_StreamMetricThroughput/" << rows << "/" << dim << "  "
+              << instPerSec << " instances/s  (best of " << reps
+              << ", rho " << result.metric << " at instance "
+              << result.argminInstance << ", screened "
+              << 100.0 * screenedFraction << "%)\n";
+
+    // ---- the BENCH_pr5 bridge: serial single-instance metric ----------
+    Pcg32 perturb(7);
+    num::Vec origin(problem.parameter().origin);
+    for (double& v : origin) {
+      v *= perturb.uniform(0.99, 1.01);
+    }
+    core::AnalysisInstance instance;
+    instance.origin = origin;
+    core::MetricWorkspace workspace;
+    double sink = 0.0;
+    std::uint64_t iters = 0;
+    const auto serialStart = Clock::now();
+    double serialElapsed = 0.0;
+    while (serialElapsed < 0.2 || iters < 8) {
+      sink += problem.evaluateMetric(instance, workspace).metric;
+      ++iters;
+      serialElapsed = secondsSince(serialStart);
+    }
+    const double serialNs =
+        serialElapsed * 1e9 / static_cast<double>(iters);
+    std::cout << "BM_MetricOnlyPruned/" << rows << "/" << dim << "  "
+              << serialNs << " ns  (" << iters << " iters, sink " << sink
+              << ")\n";
+
+    if (!reportPath.empty()) {
+      obs::RunReport report;
+      report.tool = "stream_throughput";
+      report.info = {
+          {"file", filePath},
+          {"instances", std::to_string(instances)},
+          {"dim", std::to_string(dim)},
+          {"rows", std::to_string(rows)},
+          {"shard", std::to_string(options.shardInstances)},
+          {"threads", std::to_string(options.threads)},
+          {"simd", std::string(
+                       num::simd::toString(num::simd::activeTarget()))},
+          {"screened_fraction", std::to_string(screenedFraction)},
+          {"issue_target",
+           "1e7 instances/s at 4096x512; the committed value is the "
+           "measured best on the build host (single-core container) — "
+           "the gap is documented in DESIGN.md section 4.11"},
+      };
+      report.benchmarks = {
+          {"BM_StreamMetricThroughput/" + std::to_string(rows) + "/" +
+               std::to_string(dim),
+           instPerSec, "instances/s"},
+          {"BM_MetricOnlyPruned/" + std::to_string(rows) + "/" +
+               std::to_string(dim),
+           serialNs, "ns"},
+      };
+      obs::writeRunReport(reportPath, report);
+      std::cout << "report -> " << reportPath << '\n';
+    }
+  } catch (const std::exception& err) {
+    std::cerr << "stream_throughput: " << err.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

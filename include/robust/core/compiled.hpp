@@ -232,6 +232,12 @@ class CompiledProblem {
  private:
   CompiledProblem() = default;
 
+  // The streaming driver (src/core/stream.cpp) replicates the metric
+  // lane's row arithmetic bit-for-bit against shards it pulls off disk,
+  // and screens rows with the compiled default-origin dots; it needs the
+  // packed internals, not a widened public surface.
+  friend class StreamEngine;
+
   void radiusOfInto(std::size_t index, std::span<const double> origin,
                     double constant, double scale, RadiusReport& out,
                     EvalWorkspace& workspace) const;
@@ -257,6 +263,17 @@ class CompiledProblem {
                               const double* dots, bool prune,
                               MetricWorkspace& workspace) const;
 
+  /// One worker's serial slice of analyzeBatchMetric: the cache-blocked
+  /// (instances x rows) tile walk over instances [lo, hi) into the same
+  /// output slots, reusing a caller-owned workspace. The batch entry
+  /// points and the streaming driver's shard scans share this so a shard
+  /// is exactly one block — zero steady-state allocation with an arena
+  /// workspace, and bit-identical results by construction.
+  void metricBlock(std::span<const AnalysisInstance> instances,
+                   std::span<MetricResult> out, std::size_t lo,
+                   std::size_t hi, MetricWorkspace& workspace,
+                   bool prune) const;
+
   [[nodiscard]] std::span<const double> rowOf(std::size_t feature) const {
     return {weights_.data() + rowIndex_[feature] * dim_, dim_};
   }
@@ -281,6 +298,11 @@ class CompiledProblem {
   /// Per affine row, row . defaultOrigin computed once with the blocked
   /// kernels: the metric lane at the compiled defaults needs no dot pass.
   std::vector<double> dotOrigin_;
+  /// Per affine row, sum(|a_k * origin_k|) at the compiled default
+  /// origin: the magnitude scale the streaming screen uses to bound the
+  /// rounding of a kernel dot product when deciding that a row provably
+  /// cannot bind.
+  std::vector<double> absDotOrigin_;
   /// True when the compiled solver resolves to Analytic for affine rows,
   /// i.e. the metric lane may use the kernel fast path.
   bool fastSolver_ = false;

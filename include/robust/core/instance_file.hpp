@@ -1,0 +1,154 @@
+// The versioned binary on-disk instance format for the streaming lane.
+//
+// A ".rbi" (robust binary instances) file is a 64-byte header followed by
+// a packed payload of float64 perturbation origins, one instance after
+// another (each instance's `dim` components contiguous — the batch is
+// column-major with instances as columns):
+//
+//   offset  size  field
+//   ------  ----  ------------------------------------------------------
+//        0     8  magic "RBINST\r\n" (the CR/LF pair catches text-mode
+//                 and newline-translating transports, PNG-style)
+//        8     4  u32 format version (currently 1)
+//       12     4  u32 flags (must be 0 in version 1)
+//       16     8  u64 dim        — components per instance
+//       24     8  u64 instances  — instance count
+//       32    32  reserved, must be zero
+//       64     -  payload: instances x dim float64, instance-contiguous
+//
+// All integers and doubles are stored in the host byte order of the
+// writing machine; every supported target is little-endian, and a file
+// from a byte-swapped writer cannot slip through validation (a swapped
+// `dim` fails the size cross-check astronomically). The payload starts at
+// byte 64, so every instance is 8-byte aligned and a mapped window can be
+// reinterpreted as doubles directly.
+//
+// Validation is the PR 3 boundary discipline: every reject routes through
+// util::Diagnostics with a category and a position (for payload values,
+// line = 1-based instance, column = 1-based component), and the declared
+// shape is cross-checked against the real file size before any
+// allocation — a hostile header claiming 10^9-dimensional instances
+// produces a diagnostic, not an allocation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "robust/core/input_policy.hpp"
+#include "robust/util/diagnostics.hpp"
+#include "robust/util/mmap_file.hpp"
+
+namespace robust::core {
+
+inline constexpr std::size_t kInstanceFileMagicBytes = 8;
+inline constexpr char kInstanceFileMagic[kInstanceFileMagicBytes + 1] =
+    "RBINST\r\n";
+inline constexpr std::uint32_t kInstanceFileVersion = 1;
+inline constexpr std::size_t kInstanceFileHeaderBytes = 64;
+
+/// The declared shape of an instance file.
+struct InstanceFileHeader {
+  std::uint64_t dim = 0;
+  std::uint64_t instances = 0;
+};
+
+/// Parses and validates the 64-byte header against `policy`, then
+/// cross-checks the declared shape against `totalBytes` (the whole file's
+/// size). Throws util::ParseError through `diag` on any violation.
+[[nodiscard]] InstanceFileHeader parseInstanceFileHeader(
+    std::span<const std::byte> header, std::uint64_t totalBytes,
+    const util::Diagnostics& diag, const InputPolicy& policy = {});
+
+/// Streaming writer: header first (instance count patched on finish()),
+/// then one append per instance. The output stream must be binary and
+/// seekable. Appended values are validated under `policy` fail-fast, so a
+/// non-finite value never reaches the disk.
+class InstanceFileWriter {
+ public:
+  InstanceFileWriter(std::ostream& out, std::uint64_t dim,
+                     const InputPolicy& policy = {},
+                     std::string source = "<instance stream>");
+
+  /// Appends one instance (`values.size()` must equal dim).
+  void append(std::span<const double> values);
+  /// Appends `values.size() / dim` instances (must divide exactly).
+  void appendBatch(std::span<const double> values);
+
+  [[nodiscard]] std::uint64_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::uint64_t instances() const noexcept {
+    return instances_;
+  }
+
+  /// Seeks back and patches the instance count into the header, then
+  /// flushes. Must be called exactly once, before the stream is closed.
+  void finish();
+
+ private:
+  std::ostream& out_;
+  util::Diagnostics diag_;
+  InputPolicy policy_;
+  std::uint64_t dim_ = 0;
+  std::uint64_t instances_ = 0;
+  bool finished_ = false;
+};
+
+/// A fully materialized instance file (tests, fuzzing, format
+/// conversion). values holds header.instances x header.dim doubles,
+/// instance-contiguous, validated under `policy`.
+struct InstanceData {
+  InstanceFileHeader header;
+  std::vector<double> values;
+};
+
+/// Parses header + payload from an in-memory byte image.
+[[nodiscard]] InstanceData loadInstanceData(std::span<const std::byte> bytes,
+                                            const util::Diagnostics& diag,
+                                            const InputPolicy& policy = {});
+
+/// Convenience overload over a byte string (the fuzz harness's artifact
+/// representation).
+[[nodiscard]] InstanceData loadInstanceData(const std::string& bytes,
+                                            const util::Diagnostics& diag,
+                                            const InputPolicy& policy = {});
+
+/// Random-access reader over an instance file: validates the header on
+/// open, then materializes shards through reusable MmapFile windows.
+/// Payload values are NOT validated here — the streaming engine fuses its
+/// finiteness check into the first pass over each shard (and rejects with
+/// exact instance/component provenance).
+class InstanceFileReader {
+ public:
+  /// Opens and validates `path`. Throws std::runtime_error when the file
+  /// cannot be opened, util::ParseError when the header is invalid.
+  explicit InstanceFileReader(const std::string& path,
+                              const InputPolicy& policy = {});
+
+  [[nodiscard]] const InstanceFileHeader& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] std::uint64_t dim() const noexcept { return header_.dim; }
+  [[nodiscard]] std::uint64_t instances() const noexcept {
+    return header_.instances;
+  }
+  [[nodiscard]] const std::string& path() const noexcept {
+    return file_.path();
+  }
+
+  /// Materializes instances [first, first + count) through `view` and
+  /// returns them as a span of count x dim doubles (valid until the next
+  /// call on the same view). Thread-safe across concurrent calls with
+  /// distinct views.
+  [[nodiscard]] std::span<const double> read(
+      std::uint64_t first, std::uint64_t count,
+      util::MmapFile::View& view) const;
+
+ private:
+  util::MmapFile file_;
+  InstanceFileHeader header_;
+};
+
+}  // namespace robust::core

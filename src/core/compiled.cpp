@@ -324,6 +324,7 @@ CompiledProblem CompiledProblem::compile(ProblemSpec spec) {
     p.dualNorms_[k].assign(rows, std::numeric_limits<double>::quiet_NaN());
   }
   p.weightedDenom_.assign(rows, std::numeric_limits<double>::quiet_NaN());
+  p.absDotOrigin_.assign(rows, 0.0);
   const bool haveWeighted = p.options_.normWeights.size() == p.dim_;
   for (std::size_t i = 0; i < n; ++i) {
     if (p.rowIndex_[i] == kNoRow) {
@@ -341,6 +342,14 @@ CompiledProblem CompiledProblem::compile(ProblemSpec spec) {
         dualNorm(row, NormKind::L2, {});
     p.dualNorms_[static_cast<int>(NormKind::LInf)][r] =
         dualNorm(row, NormKind::LInf, {});
+    // Magnitude scale for the streaming screen's rounding bound: the
+    // absolute-value dot at the default origin majorizes every partial
+    // sum the kernel dot of a nearby instance can form.
+    double absDot = 0.0;
+    for (std::size_t k = 0; k < p.dim_; ++k) {
+      absDot += std::fabs(row[k] * p.parameter_.origin[k]);
+    }
+    p.absDotOrigin_[r] = absDot;
     if (haveWeighted) {
       p.dualNorms_[static_cast<int>(NormKind::Weighted)][r] =
           dualNorm(row, NormKind::Weighted, p.options_.normWeights);
@@ -740,6 +749,49 @@ MetricResult CompiledProblem::evaluateMetric() const {
   return evaluateMetric(AnalysisInstance{});
 }
 
+void CompiledProblem::metricBlock(std::span<const AnalysisInstance> instances,
+                                  std::span<MetricResult> out, std::size_t lo,
+                                  std::size_t hi, MetricWorkspace& ws,
+                                  bool prune) const {
+  // Tile geometry: a stripe of kRowChunk rows is consumed by every
+  // instance of a kTile-wide tile before the next stripe streams in, so
+  // the batch walks the weight matrix once per tile instead of once per
+  // instance (cache blocking over instances x rows).
+  constexpr std::size_t kTile = 8;
+  constexpr std::size_t kRowChunk = 64;
+  const std::size_t rows = rowCount();
+
+  if (!fastSolver_) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      out[i] = evaluateMetric(instances[i], ws, prune);
+    }
+    return;
+  }
+  for (std::size_t t0 = lo; t0 < hi; t0 += kTile) {
+    const std::size_t t1 = std::min(hi, t0 + kTile);
+    ws.batchDots_.resize((t1 - t0) * rows);
+    for (std::size_t r0 = 0; r0 < rows; r0 += kRowChunk) {
+      const std::size_t chunk = std::min(rows, r0 + kRowChunk) - r0;
+      for (std::size_t i = t0; i < t1; ++i) {
+        if (instances[i].origin.empty()) {
+          continue;  // compiled default: dots cached at compile time
+        }
+        const std::span<const double> origin = resolveOrigin(instances[i]);
+        num::simd::dotRowsBlocked(weights_.data() + r0 * dim_, chunk, origin,
+                                  ws.batchDots_.data() + (i - t0) * rows +
+                                      r0);
+      }
+    }
+    for (std::size_t i = t0; i < t1; ++i) {
+      const std::span<const double> origin = resolveOrigin(instances[i]);
+      const double* dots = instances[i].origin.empty()
+                               ? dotOrigin_.data()
+                               : ws.batchDots_.data() + (i - t0) * rows;
+      out[i] = metricFromDots(instances[i], origin, dots, prune, ws);
+    }
+  }
+}
+
 void CompiledProblem::analyzeBatchMetric(
     std::span<const AnalysisInstance> instances, std::span<MetricResult> out,
     std::size_t threads, bool prune) const {
@@ -752,51 +804,11 @@ void CompiledProblem::analyzeBatchMetric(
   }
   const obs::Span span("core.analyzeBatchMetric");
 
-  // Tile geometry: a stripe of kRowChunk rows is consumed by every
-  // instance of a kTile-wide tile before the next stripe streams in, so
-  // the batch walks the weight matrix once per tile instead of once per
-  // instance (cache blocking over instances x rows).
-  constexpr std::size_t kTile = 8;
-  constexpr std::size_t kRowChunk = 64;
-  const std::size_t rows = rowCount();
-
-  auto runBlock = [&](std::size_t lo, std::size_t hi, MetricWorkspace& ws) {
-    if (!fastSolver_) {
-      for (std::size_t i = lo; i < hi; ++i) {
-        out[i] = evaluateMetric(instances[i], ws, prune);
-      }
-      return;
-    }
-    for (std::size_t t0 = lo; t0 < hi; t0 += kTile) {
-      const std::size_t t1 = std::min(hi, t0 + kTile);
-      ws.batchDots_.resize((t1 - t0) * rows);
-      for (std::size_t r0 = 0; r0 < rows; r0 += kRowChunk) {
-        const std::size_t chunk = std::min(rows, r0 + kRowChunk) - r0;
-        for (std::size_t i = t0; i < t1; ++i) {
-          if (instances[i].origin.empty()) {
-            continue;  // compiled default: dots cached at compile time
-          }
-          const std::span<const double> origin = resolveOrigin(instances[i]);
-          num::simd::dotRowsBlocked(weights_.data() + r0 * dim_, chunk, origin,
-                                    ws.batchDots_.data() + (i - t0) * rows +
-                                        r0);
-        }
-      }
-      for (std::size_t i = t0; i < t1; ++i) {
-        const std::span<const double> origin = resolveOrigin(instances[i]);
-        const double* dots = instances[i].origin.empty()
-                                 ? dotOrigin_.data()
-                                 : ws.batchDots_.data() + (i - t0) * rows;
-        out[i] = metricFromDots(instances[i], origin, dots, prune, ws);
-      }
-    }
-  };
-
   std::size_t workers = threads == 0 ? defaultThreadCount() : threads;
   workers = std::min(workers, n);
   if (workers <= 1) {
     MetricWorkspace workspace;
-    runBlock(0, n, workspace);
+    metricBlock(instances, out, 0, n, workspace, prune);
     return;
   }
   // One contiguous block per worker, same partition as analyzeBatch:
@@ -805,7 +817,8 @@ void CompiledProblem::analyzeBatchMetric(
   parallelFor(
       0, workers,
       [&](std::size_t b) {
-        runBlock(n * b / workers, n * (b + 1) / workers, workspaces[b]);
+        metricBlock(instances, out, n * b / workers, n * (b + 1) / workers,
+                    workspaces[b], prune);
       },
       workers);
 }

@@ -11,15 +11,25 @@
 //      exception type; util::ParseError findings carry the source name.
 //   3. Truncation: every prefix of a valid artifact is rejected cleanly
 //      (or, for the full artifact, loads identically).
+// A fourth artifact kind, the binary instance file of the streaming lane
+// (robust/core/instance_file.hpp), runs the same three properties through
+// both entry points: the in-memory loader and the mmap-backed
+// InstanceFileReader -> analyzeStream path.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "robust/core/compiled.hpp"
+#include "robust/core/instance_file.hpp"
+#include "robust/core/stream.hpp"
 #include "robust/hiperd/generator.hpp"
 #include "robust/hiperd/scenario_io.hpp"
 #include "robust/scheduling/etc_io.hpp"
@@ -277,6 +287,138 @@ TEST(IoFuzz, EveryScenarioPrefixRejectsCleanly) {
           [](const hiperd::HiperdScenario&) {});
     }
   }
+}
+
+// ------------------------------------- binary instance files (1, 2, 3)
+
+/// A valid instance-file image: a tiny problem's worth of perturbations
+/// packed through the streaming writer.
+std::string validInstanceImage(std::uint64_t dim, std::uint64_t count) {
+  Pcg32 rng = makeStream(kMasterSeed, 0xb1);
+  std::ostringstream out(std::ios::binary);
+  core::InstanceFileWriter writer(out, dim);
+  std::vector<double> row(dim);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    for (double& v : row) {
+      v = rng.uniform(0.5, 1.5);
+    }
+    writer.append(row);
+  }
+  writer.finish();
+  return out.str();
+}
+
+/// A matching problem for driving mutated images through analyzeStream.
+core::CompiledProblem tinyStreamProblem(std::size_t dim) {
+  Pcg32 rng = makeStream(kMasterSeed, 0xb2);
+  core::ProblemSpec spec;
+  spec.parameter.name = "pi";
+  spec.parameter.origin.assign(dim, 1.0);
+  for (std::size_t r = 0; r < 4; ++r) {
+    num::Vec weights(dim);
+    for (double& w : weights) {
+      w = rng.uniform(0.1, 2.0);
+    }
+    spec.features.push_back(core::PerformanceFeature{
+        "F_" + std::to_string(r),
+        core::ImpactFunction::affine(std::move(weights)),
+        core::ToleranceBounds::atMost(rng.uniform(2.0, 8.0) *
+                                      static_cast<double>(dim))});
+  }
+  return core::CompiledProblem::compile(std::move(spec));
+}
+
+/// Loads a byte image through the in-memory loader; clean loads must hold
+/// only finite values. Returns true on load, false on structured reject.
+bool loadImageOrReject(const std::string& image) {
+  try {
+    const util::Diagnostics diag("fuzz.rbi");
+    const core::InstanceData data = core::loadInstanceData(image, diag);
+    for (double v : data.values) {
+      EXPECT_TRUE(std::isfinite(v))
+          << "binary loader admitted a non-finite value";
+    }
+    return true;
+  } catch (const util::ParseError& err) {
+    EXPECT_FALSE(err.diagnostic().source.empty());
+    EXPECT_FALSE(err.diagnostic().message.empty());
+    return false;
+  } catch (const InvalidArgumentError&) {
+    return false;
+  } catch (const std::exception& err) {
+    ADD_FAILURE() << "unexpected exception type: " << err.what();
+    return false;
+  }
+}
+
+TEST(IoFuzz, MutatedInstanceFileNeverCrashesAndNeverAdmitsNonFinite) {
+  const std::string valid = validInstanceImage(6, 20);
+  Pcg32 rng = makeStream(kMasterSeed, 0xb17);
+  int loadedCount = 0;
+  for (int i = 0; i < 600; ++i) {
+    loadedCount += loadImageOrReject(util::mutateBytes(valid, rng)) ? 1 : 0;
+  }
+  // The format is mostly payload, so many single-byte flips only move a
+  // finite double; the header and shape damage must all be caught.
+  EXPECT_GT(loadedCount, 0);
+  EXPECT_LT(loadedCount, 600);
+}
+
+TEST(IoFuzz, MutatedInstanceFileThroughMmapReaderNeverCrashes) {
+  const std::string valid = validInstanceImage(6, 20);
+  const core::CompiledProblem problem = tinyStreamProblem(6);
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("robust_io_fuzz_" + std::to_string(::getpid()) + ".rbi"))
+          .string();
+
+  Pcg32 rng = makeStream(kMasterSeed, 0xb18);
+  for (int i = 0; i < 200; ++i) {
+    const std::string mutated = util::mutateBytes(valid, rng);
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      ASSERT_TRUE(out.is_open());
+      out.write(mutated.data(),
+                static_cast<std::streamsize>(mutated.size()));
+    }
+    bool streamed = false;
+    try {
+      core::StreamOptions options;
+      options.shardInstances = 7;
+      const core::StreamResult result =
+          core::analyzeStream(problem, path, options);
+      EXPECT_FALSE(std::isnan(result.metric))
+          << "streaming lane emitted NaN from a mutated file";
+      streamed = true;
+    } catch (const InvalidArgumentError&) {
+      // ParseError (malformed file / non-finite payload), dimension
+      // mismatch, degenerate rows — all structured rejections.
+    } catch (const std::exception& err) {
+      ADD_FAILURE() << "unexpected exception type: " << err.what();
+    }
+    // The two entry points share one validation boundary: a file the
+    // streaming lane accepted must also pass the in-memory loader (modulo
+    // problem-dependent degenerate-row rejects, which only go the other
+    // way).
+    if (streamed) {
+      EXPECT_TRUE(loadImageOrReject(mutated));
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+TEST(IoFuzz, EveryInstanceFilePrefixRejectsCleanly) {
+  const std::string valid = validInstanceImage(5, 9);
+  // The header declares the exact payload size, so EVERY strict prefix is
+  // rejectable — stronger than the text formats' EOF ambiguity.
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    const util::Diagnostics diag("prefix.rbi");
+    EXPECT_THROW((void)core::loadInstanceData(valid.substr(0, cut), diag),
+                 InvalidArgumentError)
+        << "prefix of length " << cut << " unexpectedly loaded";
+  }
+  EXPECT_TRUE(loadImageOrReject(valid));
 }
 
 }  // namespace

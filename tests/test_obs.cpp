@@ -9,13 +9,18 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "robust/core/compiled.hpp"
+#include "robust/core/instance_file.hpp"
+#include "robust/core/stream.hpp"
 #include "robust/hiperd/compiled_scenario.hpp"
 #include "robust/hiperd/generator.hpp"
 #include "robust/numeric/simd.hpp"
@@ -395,6 +400,85 @@ TEST_F(ObsMetrics, HiperdMetricLaneRecordsAnalyzeCounter) {
   EXPECT_GE(snapshot.counter("core.kernel.dispatch.scalar") +
                 snapshot.counter("core.kernel.dispatch.avx2"),
             1u);
+}
+
+// ------------------------------------------------------- streaming lane
+
+/// A 30-instance file of perturbations around pruneHeavyProblem's origin,
+/// removed on destruction.
+class StreamObsFile {
+ public:
+  StreamObsFile() {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("robust_obs_stream_" + std::to_string(::getpid()) + ".rbi"))
+                .string();
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    core::InstanceFileWriter writer(out, 8);
+    std::vector<double> row(8);
+    for (int i = 0; i < 30; ++i) {
+      for (std::size_t k = 0; k < 8; ++k) {
+        row[k] = 1.0 + 0.001 * static_cast<double>(i + 1);
+      }
+      writer.append(row);
+    }
+    writer.finish();
+  }
+  ~StreamObsFile() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST_F(ObsMetrics, StreamLaneRecordsShardsInstancesAndMmapBytes) {
+  const StreamObsFile file;
+  const auto problem = pruneHeavyProblem();
+  core::StreamOptions options;
+  options.shardInstances = 7;  // 30 instances -> ceil(30/7) = 5 shards
+  options.threads = 2;
+  const core::StreamResult result =
+      core::analyzeStream(problem, file.path(), options);
+  EXPECT_EQ(result.instances, 30u);
+  EXPECT_EQ(result.shards, 5u);
+
+  const auto snapshot = obs::snapshotMetrics();
+  EXPECT_EQ(snapshot.counter("core.stream.shards"), 5u);
+  EXPECT_EQ(snapshot.counter("core.stream.instances"), 30u);
+  EXPECT_EQ(snapshot.counter("core.stream.instances_screened"),
+            result.screenedInstances);
+  // The shard-queue high-water mark is the whole queue: every shard is
+  // enqueued up front and drained by ticket.
+  EXPECT_EQ(snapshot.gauge("core.stream.queue_high_water"), 5);
+  const std::int64_t inflight =
+      snapshot.gauge("core.stream.inflight_high_water");
+  EXPECT_GE(inflight, 1);
+  EXPECT_LE(inflight, 2);
+  // Every payload byte travels through exactly one window: 64-byte
+  // header + 5 shard views, mapped or read depending on the platform.
+  const std::uint64_t moved = snapshot.counter("io.mmap.bytes_mapped") +
+                              snapshot.counter("io.mmap.bytes_read");
+  EXPECT_EQ(moved, 64u + 30u * 8u * 8u);
+}
+
+TEST_F(ObsMetrics, StreamLaneRecordsNothingWhenDisabled) {
+  const StreamObsFile file;
+  const auto problem = pruneHeavyProblem();
+  obs::setEnabled(false);
+  const core::StreamResult result =
+      core::analyzeStream(problem, file.path(), {});
+  obs::setEnabled(true);
+  EXPECT_EQ(result.instances, 30u);  // the answer itself is unaffected
+  const auto snapshot = obs::snapshotMetrics();
+  EXPECT_EQ(snapshot.counter("core.stream.shards"), 0u);
+  EXPECT_EQ(snapshot.counter("core.stream.instances"), 0u);
+  EXPECT_EQ(snapshot.counter("core.stream.instances_screened"), 0u);
+  EXPECT_EQ(snapshot.counter("io.mmap.bytes_mapped"), 0u);
+  EXPECT_EQ(snapshot.counter("io.mmap.bytes_read"), 0u);
+  EXPECT_EQ(snapshot.gauge("core.stream.queue_high_water"), 0);
+  EXPECT_EQ(snapshot.gauge("core.stream.inflight_high_water"), 0);
 }
 
 // ---------------------------------------------------------------- overhead
