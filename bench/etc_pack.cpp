@@ -15,12 +15,17 @@
 //       multiplicative jitter uniform(1-spread, 1+spread) from
 //       Pcg32(seed, i)) without ever holding the batch in memory.
 //   etc_pack info   --in IN.rbi
-//       Prints the validated header shape and payload size.
+//       Prints the validated header shape and payload size plus the raw
+//       framing fields (version, flags in hex, reserved bytes). A file
+//       with trailing bytes after the declared payload is rejected with
+//       the categorized trailing-bytes diagnostic, not described.
 //
 // Exit code 0 on success; 1 on usage or conversion errors (printed).
 #include <cstdint>
+#include <cstring>
 #include <exception>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -156,10 +161,49 @@ int runGen(const ArgParser& args) {
 int runInfo(const ArgParser& args) {
   const std::string inPath = args.getString("in", "");
   if (inPath.empty()) return usage();
+  // Opening the reader runs full header validation: bad magic, unknown
+  // flags, nonzero reserved bytes, shape/size mismatches, and trailing
+  // bytes after the declared payload all produce a categorized
+  // util::ParseError (printed by main's handler) instead of a dump.
   const core::InstanceFileReader reader(inPath);
+
+  // Re-read the raw header to show the fields validation normalizes away
+  // (version, flags, reserved): when a foreign writer misbehaves, `info`
+  // on a file that DOES validate is how its raw framing gets inspected.
+  std::ifstream raw(inPath, std::ios::binary);
+  unsigned char header[core::kInstanceFileHeaderBytes] = {};
+  raw.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!raw) {
+    throw std::runtime_error("etc_pack: cannot re-read the header of '" +
+                             inPath + "'");
+  }
+  std::uint32_t version = 0;
+  std::uint32_t flags = 0;
+  std::memcpy(&version, header + 8, sizeof(version));
+  std::memcpy(&flags, header + 12, sizeof(flags));
+
   std::cout << inPath << ": dim " << reader.dim() << ", instances "
             << reader.instances() << ", payload "
             << reader.instances() * reader.dim() * 8 << " bytes\n";
+  std::cout << "  version " << version << ", flags 0x" << std::hex
+            << std::setfill('0') << std::setw(8) << flags << std::dec
+            << std::setfill(' ') << ", reserved[32]";
+  bool reservedZero = true;
+  for (std::size_t i = 32; i < core::kInstanceFileHeaderBytes; ++i) {
+    reservedZero = reservedZero && header[i] == 0;
+  }
+  if (reservedZero) {
+    std::cout << " all zero\n";
+  } else {
+    // Unreachable after validation today, but printed verbatim so a future
+    // version that relaxes the reserved-bytes rule stays inspectable.
+    std::cout << std::hex << std::setfill('0');
+    for (std::size_t i = 32; i < core::kInstanceFileHeaderBytes; ++i) {
+      std::cout << ' ' << std::setw(2)
+                << static_cast<unsigned>(header[i]);
+    }
+    std::cout << std::dec << std::setfill(' ') << '\n';
+  }
   return 0;
 }
 

@@ -21,10 +21,17 @@
 // report sharing no benchmark name with the baseline fails outright — a
 // renamed benchmark must not silently drop out of the regression gate.
 //
-// Exits 0 when every file validates, 1 with one message per violation
-// otherwise — so a workflow step can gate on malformed, schema-drifted, or
-// regressed artifacts instead of archiving garbage.
+// Exit codes (a workflow step can branch on them instead of grepping):
+//   0  every file validates
+//   1  schema violations / regressions, one message per violation
+//   2  usage error (bad flags, missing operands)
+//   3  a --baseline file does not exist or cannot be opened — usually a
+//      missing CI artifact; re-run the baseline job or fix the path
+//   4  a --baseline file opened but is not a usable run report (invalid
+//      JSON, wrong top-level type, or no well-formed benchmark rows) — the
+//      baseline itself is corrupt and must be regenerated, not the report
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -238,14 +245,12 @@ bool isRateUnit(const std::string& unit) {
   return unit.size() >= 2 && unit.compare(unit.size() - 2, 2, "/s") == 0;
 }
 
-int checkRegression(const std::string& reportPath,
+int checkRegression(const std::string& reportPath, const Value& baseline,
                     const std::string& baselinePath, double maxSlowdown) {
   Checker check(reportPath);
   Value report;
-  Value baseline;
   try {
     report = robust::obs::json::parseFile(reportPath);
-    baseline = robust::obs::json::parseFile(baselinePath);
   } catch (const std::exception& err) {
     check.fail(err.what());
     return check.failures();
@@ -279,6 +284,44 @@ int checkRegression(const std::string& reportPath,
     check.fail("shares no benchmark name with baseline " + baselinePath);
   }
   return check.failures();
+}
+
+constexpr int kExitUsage = 2;
+constexpr int kExitBaselineMissing = 3;
+constexpr int kExitBaselineMalformed = 4;
+
+/// Loads and vets one --baseline file. Returns 0 and fills `out` on
+/// success; otherwise prints one categorized diagnostic and returns the
+/// exit code (3 missing, 4 malformed) so CI can tell "the baseline
+/// artifact never arrived" apart from "the baseline artifact is corrupt".
+int loadBaseline(const std::string& path, Value& out) {
+  if (std::ifstream probe(path, std::ios::binary); !probe) {
+    std::cerr << "report_check: baseline '" << path
+              << "' does not exist or cannot be opened — missing artifact; "
+                 "re-run the baseline job or fix the path\n";
+    return kExitBaselineMissing;
+  }
+  try {
+    out = robust::obs::json::parseFile(path);
+  } catch (const std::exception& err) {
+    std::cerr << "report_check: baseline '" << path
+              << "' is malformed (not valid JSON): " << err.what()
+              << " — regenerate the baseline artifact\n";
+    return kExitBaselineMalformed;
+  }
+  if (out.kind != Kind::Object) {
+    std::cerr << "report_check: baseline '" << path
+              << "' is malformed: top level is not an object — regenerate "
+                 "the baseline artifact\n";
+    return kExitBaselineMalformed;
+  }
+  if (benchmarkMap(out).empty()) {
+    std::cerr << "report_check: baseline '" << path
+              << "' is malformed: no well-formed benchmark rows, so it can "
+                 "gate nothing — regenerate the baseline artifact\n";
+    return kExitBaselineMalformed;
+  }
+  return 0;
 }
 
 int checkTrace(const std::string& path) {
@@ -346,25 +389,25 @@ int main(int argc, char** argv) {
     if (arg == "--trace") {
       if (i + 1 == argc) {
         std::cerr << "report_check: --trace needs a path\n";
-        return 2;
+        return kExitUsage;
       }
       traces.emplace_back(argv[++i]);
     } else if (arg == "--require") {
       if (i + 1 == argc) {
         std::cerr << "report_check: --require needs a benchmark name\n";
-        return 2;
+        return kExitUsage;
       }
       required.emplace_back(argv[++i]);
     } else if (arg == "--baseline") {
       if (i + 1 == argc) {
         std::cerr << "report_check: --baseline needs a path\n";
-        return 2;
+        return kExitUsage;
       }
       baselines.emplace_back(argv[++i]);
     } else if (arg == "--max-slowdown") {
       if (i + 1 == argc) {
         std::cerr << "report_check: --max-slowdown needs a factor\n";
-        return 2;
+        return kExitUsage;
       }
       try {
         maxSlowdown = std::stod(argv[++i]);
@@ -373,7 +416,7 @@ int main(int argc, char** argv) {
       }
       if (!(maxSlowdown >= 1.0)) {
         std::cerr << "report_check: --max-slowdown must be a factor >= 1\n";
-        return 2;
+        return kExitUsage;
       }
     } else if (arg == "--help" || arg == "-h") {
       std::cout << kUsage;
@@ -384,22 +427,35 @@ int main(int argc, char** argv) {
   }
   if (reports.empty() && traces.empty()) {
     std::cerr << kUsage;
-    return 2;
+    return kExitUsage;
   }
   if (!required.empty() && reports.empty()) {
     std::cerr << "report_check: --require needs at least one report\n";
-    return 2;
+    return kExitUsage;
   }
   if (!baselines.empty() && reports.empty()) {
     std::cerr << "report_check: --baseline needs at least one report\n";
-    return 2;
+    return kExitUsage;
+  }
+
+  // Vet every baseline up front: a missing or corrupt baseline is a CI
+  // plumbing failure, not a property of any report, and gets its own exit
+  // code before any report is judged against it.
+  std::vector<std::pair<std::string, Value>> baselineDocs;
+  baselineDocs.reserve(baselines.size());
+  for (const std::string& path : baselines) {
+    Value doc;
+    if (const int code = loadBaseline(path, doc); code != 0) {
+      return code;
+    }
+    baselineDocs.emplace_back(path, std::move(doc));
   }
 
   int failures = 0;
   for (const std::string& path : reports) {
     failures += checkRunReport(path, required);
-    for (const std::string& baseline : baselines) {
-      failures += checkRegression(path, baseline, maxSlowdown);
+    for (const auto& [baselinePath, baseline] : baselineDocs) {
+      failures += checkRegression(path, baseline, baselinePath, maxSlowdown);
     }
   }
   for (const std::string& path : traces) {

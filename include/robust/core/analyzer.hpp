@@ -29,13 +29,22 @@ namespace robust::core {
 /// analyzers may run on pool threads (the Fig. 3 / Fig. 4 drivers do).
 class RobustnessAnalyzer {
  public:
+  /// Takes ownership of a complete derivation (the general entry point:
+  /// legacy single-parameter specs, multi-subspace specs, and constrained
+  /// specs all compile through the same engine).
+  explicit RobustnessAnalyzer(ProblemSpec spec)
+      : compiled_(CompiledProblem::compile(std::move(spec))) {}
+
   /// Takes ownership of the derived features and parameter. Affine impact
   /// dimensions must match the parameter dimension.
   RobustnessAnalyzer(std::vector<PerformanceFeature> features,
                      PerturbationParameter parameter,
                      AnalyzerOptions options = {})
-      : compiled_(CompiledProblem::compile(ProblemSpec{
-            std::move(features), std::move(parameter), std::move(options)})) {}
+      : RobustnessAnalyzer(ProblemSpec{.features = std::move(features),
+                                       .parameter = std::move(parameter),
+                                       .options = std::move(options),
+                                       .subspaces = {},
+                                       .constraints = {}}) {}
 
   /// Number of features.
   [[nodiscard]] std::size_t featureCount() const noexcept {

@@ -41,10 +41,32 @@ namespace robust::core {
 /// Phase-1 input: the complete FePIA derivation (steps 1-3) plus the
 /// analysis configuration. The parameter's origin doubles as the default
 /// evaluation origin for instances that do not override it.
+///
+/// The perturbation space may be described two equivalent ways:
+///
+///   * legacy: `parameter` + `options.norm` — one unconstrained continuous
+///     (or discrete) vector measured by one norm. `subspaces` stays empty;
+///     compile() synthesizes the single equivalent subspace.
+///   * general: `subspaces` — one or more named blocks, each with its own
+///     origin, norm, and discreteness; the full perturbation vector is
+///     their concatenation and a displacement's size is the MAXIMUM of the
+///     per-block norms (a product of balls). With a single subspace this
+///     reduces exactly — bit for bit — to the legacy form. When subspaces
+///     are given they are authoritative: `parameter` and `options.norm` /
+///     `options.normWeights` are derived from them.
+///
+/// `constraints` carve a hard feasibility region (capacity limits) out of
+/// the perturbation space: the radius search only counts violating
+/// perturbations that are feasible, and an infeasible operating point is
+/// reported as RobustnessReport::infeasibleOrigin instead of a radius.
+/// Constrained problems require affine features, an Auto/Analytic solver,
+/// and L2/Weighted subspace norms (the projection solvers are Euclidean).
 struct ProblemSpec {
   std::vector<PerformanceFeature> features;
   PerturbationParameter parameter;
   AnalyzerOptions options;
+  std::vector<PerturbationSubspace> subspaces;
+  std::vector<LinearConstraint> constraints;
 };
 
 /// Phase-2 input: the per-query state overlaying a CompiledProblem. All
@@ -150,6 +172,26 @@ class CompiledProblem {
     return options_;
   }
 
+  /// The perturbation subspaces, post-normalization: never empty (a legacy
+  /// spec compiles to the single equivalent subspace). Block `s` covers
+  /// components [subspaceOffset(s), subspaceOffset(s + 1)).
+  [[nodiscard]] const std::vector<PerturbationSubspace>& subspaces()
+      const noexcept {
+    return subspaces_;
+  }
+  [[nodiscard]] std::size_t subspaceOffset(std::size_t s) const {
+    return subOffsets_.at(s);
+  }
+
+  /// The hard feasibility constraints (empty for unconstrained problems).
+  [[nodiscard]] const std::vector<LinearConstraint>& constraints()
+      const noexcept {
+    return constraints_;
+  }
+
+  /// True when `origin` satisfies every compiled constraint.
+  [[nodiscard]] bool originFeasible(std::span<const double> origin) const;
+
   /// Precomputed dual norm of an affine feature's weight row under `norm`
   /// (NaN for callable features, and for NormKind::Weighted when the
   /// compiled options carry no norm weights).
@@ -246,6 +288,26 @@ class CompiledProblem {
                       std::span<const double> weights, SolverKind solver,
                       RadiusReport& out) const;
 
+  /// Analytic radius of one affine feature under the multi-subspace
+  /// combined norm (max of per-block norms): effective dual = sum of
+  /// per-block duals, boundary point assembled block by block.
+  void radiusOfMulti(std::size_t index, std::span<const double> origin,
+                     double constant, double scale, RadiusReport& out,
+                     EvalWorkspace& workspace) const;
+
+  /// Feasibility clip: replaces `out` (the unconstrained analytic radius of
+  /// feature `index` at `origin`) with the constrained radius when the
+  /// unconstrained boundary point violates a compiled constraint. Single
+  /// (weighted-)L2 subspace -> Dykstra projection; multiple subspaces ->
+  /// bisection on the radius with a POCS membership oracle.
+  void clipToFeasible(std::size_t index, std::span<const double> origin,
+                      double constant, double scale, RadiusReport& out) const;
+
+  /// Fills `report` for an operating point that violates a constraint:
+  /// metric 0, infeasibleOrigin set, every radius zeroed.
+  void reportInfeasibleOrigin(std::span<const double> origin,
+                              RobustnessReport& report) const;
+
   /// Validates an instance's origin/constants/scales sizes and resolves the
   /// effective origin (shared by the full and metric lanes).
   [[nodiscard]] std::span<const double> resolveOrigin(
@@ -303,10 +365,27 @@ class CompiledProblem {
   /// rounding of a kernel dot product when deciding that a row provably
   /// cannot bind.
   std::vector<double> absDotOrigin_;
-  /// True when the compiled solver resolves to Analytic for affine rows,
-  /// i.e. the metric lane may use the kernel fast path.
+  /// True when the compiled solver resolves to Analytic for affine rows
+  /// AND no constraints clip the radius search, i.e. the metric lane may
+  /// use the kernel fast path.
   bool fastSolver_ = false;
   std::vector<std::size_t> callables_;  ///< feature indices, input order
+
+  /// Perturbation subspaces, normalized (never empty) and their component
+  /// offsets (subOffsets_[s] .. subOffsets_[s + 1] is block s;
+  /// subOffsets_.back() == dim_).
+  std::vector<PerturbationSubspace> subspaces_;
+  std::vector<std::size_t> subOffsets_;
+  bool multi_ = false;  ///< more than one subspace
+  /// Per affine row, the dual of the COMBINED norm: the sum over blocks of
+  /// the block-restricted dual norm. With a single subspace this is the
+  /// same dualNorm() call that fills dualNorms_, so the trivial case is
+  /// bit-identical to the legacy engine.
+  std::vector<double> effDual_;
+  /// Per affine row x subspace, the block-restricted dual norm (row-major,
+  /// rows x subspaces); sized only for multi-subspace problems.
+  std::vector<double> blockDuals_;
+  std::vector<LinearConstraint> constraints_;
 };
 
 }  // namespace robust::core

@@ -54,4 +54,43 @@ struct PerturbationParameter {
   std::string units;       ///< e.g. "seconds", "objects per data set"
 };
 
+/// The norm measuring displacement inside one subspace. Mirrors the
+/// analysis-wide NormKind of robust/core/report.hpp; redeclared here would
+/// create a cycle, so the subspace stores the enum by value through the
+/// AnalyzerOptions include chain (see compiled.hpp).
+///
+/// One named block of the perturbation vector. The full perturbation
+/// parameter is the concatenation of its subspaces; a perturbation of
+/// radius r may displace EVERY subspace by up to r in that subspace's own
+/// norm (the combined displacement norm is the maximum over subspaces, so
+/// a single subspace covering the whole vector reduces exactly to the
+/// paper's single-parameter formulation — same norm, same radii, same
+/// bits). Subspaces exist so heterogeneous quantities (ETC noise in
+/// seconds, sensor loads in objects, memory demand in bytes) each keep
+/// their natural norm and origin instead of being flattened into one
+/// unit-confused vector.
+struct PerturbationSubspace {
+  std::string name;        ///< e.g. "C (execution times)"
+  num::Vec origin;         ///< this block's slice of pi_orig
+  /// Norm for displacements inside this block, as the integer value of
+  /// core::NormKind (stored untyped to keep this header free of
+  /// report.hpp; compiled.cpp validates the range). 1 == L2, the default.
+  int norm = 1;
+  num::Vec normWeights;    ///< per-component weights when norm is Weighted
+  bool discrete = false;   ///< integer-valued block (Section 3.2 floor)
+  std::string units;       ///< e.g. "seconds"
+};
+
+/// One hard linear feasibility constraint g . pi <= bound over the FULL
+/// concatenated perturbation vector. Constraints carve the feasibility
+/// region out of the perturbation space: the radius search only counts
+/// violating perturbations that are feasible, and an origin outside the
+/// region is reported as a first-class outcome
+/// (RobustnessReport::infeasibleOrigin) rather than a radius.
+struct LinearConstraint {
+  std::string name;        ///< e.g. "memory capacity of m_2"
+  num::Vec coeffs;         ///< g, one entry per perturbation component
+  double bound = 0.0;      ///< g . pi <= bound
+};
+
 }  // namespace robust::core

@@ -28,6 +28,19 @@ class FepiaBuilder {
   FepiaBuilder& perturbation(std::string name, num::Vec origin,
                              bool discrete = false, std::string units = {});
 
+  /// Step 2, general form: appends one named perturbation subspace with its
+  /// own origin and norm. May be called repeatedly; the full perturbation
+  /// vector is the concatenation and a displacement's size is the maximum
+  /// of the per-block norms. Mutually exclusive with perturbation().
+  FepiaBuilder& subspace(PerturbationSubspace sub);
+
+  /// Declares one hard feasibility constraint g . pi <= bound over the full
+  /// concatenated perturbation vector (e.g. a memory capacity). Violating
+  /// perturbations outside the region do not count toward any radius, and
+  /// an infeasible operating point is reported as
+  /// RobustnessReport::infeasibleOrigin.
+  FepiaBuilder& constraint(LinearConstraint constraint);
+
   /// Steps 1+3: adds a performance feature with its impact function and
   /// tolerable-variation bounds.
   FepiaBuilder& feature(std::string name, ImpactFunction impact,
@@ -63,6 +76,8 @@ class FepiaBuilder {
   std::vector<PerformanceFeature> features_;
   PerturbationParameter parameter_;
   bool haveParameter_ = false;
+  std::vector<PerturbationSubspace> subspaces_;
+  std::vector<LinearConstraint> constraints_;
   AnalyzerOptions options_;
   bool built_ = false;
 };

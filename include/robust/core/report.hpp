@@ -65,6 +65,12 @@ struct RobustnessReport {
   double metric = 0.0;                  ///< rho_mu(Phi, pi_j)
   std::size_t bindingFeature = 0;       ///< argmin index into radii
   bool floored = false;                 ///< metric was floored (discrete pi)
+  /// True when the operating point itself violates a hard feasibility
+  /// constraint of the problem (a compiled LinearConstraint): the mapping
+  /// is not merely fragile but inadmissible, so the metric is reported as
+  /// 0 and no radius is meaningful. Always false for unconstrained
+  /// problems.
+  bool infeasibleOrigin = false;
 };
 
 }  // namespace robust::core

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "robust/numeric/hyperplane.hpp"
+#include "robust/numeric/projection.hpp"
 #include "robust/numeric/simd.hpp"
 #include "robust/obs/metrics.hpp"
 #include "robust/obs/trace.hpp"
@@ -95,6 +96,55 @@ void nearestOnHyperplaneInto(std::span<const double> a, double gap,
     }
   }
 }
+
+/// Adds the minimal-norm displacement achieving a . d = gap to the block
+/// slice `out` (which already holds the block origin): the per-block body
+/// of the multi-subspace boundary-point assembly. Mirrors the switch of
+/// nearestOnHyperplaneInto, operating in place on a span.
+void addBlockDisplacement(std::span<const double> a, double gap,
+                          NormKind norm, std::span<const double> weights,
+                          std::span<double> out) {
+  switch (norm) {
+    case NormKind::L2: {
+      const double n2 = num::dot(a, a);
+      const double t = gap / n2;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        out[i] += t * a[i];
+      }
+      break;
+    }
+    case NormKind::L1: {
+      std::size_t k = 0;
+      for (std::size_t i = 1; i < a.size(); ++i) {
+        if (std::fabs(a[i]) > std::fabs(a[k])) {
+          k = i;
+        }
+      }
+      out[k] += gap / a[k];
+      break;
+    }
+    case NormKind::LInf: {
+      const double t = gap / num::norm1(a);
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        out[i] += (a[i] > 0.0 ? 1.0 : (a[i] < 0.0 ? -1.0 : 0.0)) * t;
+      }
+      break;
+    }
+    case NormKind::Weighted: {
+      double denom = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        denom += a[i] * a[i] / weights[i];
+      }
+      const double nu = gap / denom;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        out[i] += nu * a[i] / weights[i];
+      }
+      break;
+    }
+  }
+}
+
+const std::string kInfeasibleOrigin = "infeasible-origin";
 
 double vectorNorm(std::span<const double> v, NormKind norm,
                   std::span<const double> weights) {
@@ -277,15 +327,77 @@ void evaluateAffineRadius(const AffineFeatureView& feature,
 CompiledProblem CompiledProblem::compile(ProblemSpec spec) {
   CompiledProblem p;
   p.features_ = std::move(spec.features);
-  p.parameter_ = std::move(spec.parameter);
   p.options_ = std::move(spec.options);
 
   ROBUST_REQUIRE(!p.features_.empty(),
                  "CompiledProblem: at least one feature required");
-  ROBUST_REQUIRE(!p.parameter_.origin.empty(),
-                 "CompiledProblem: empty perturbation origin");
+
+  // Normalize the perturbation space to the subspace table. A legacy spec
+  // (parameter + options.norm) becomes the single equivalent subspace; an
+  // explicit subspace list is authoritative and the legacy parameter view
+  // is derived from it (concatenated origin, discrete iff every block is).
+  if (spec.subspaces.empty()) {
+    p.parameter_ = std::move(spec.parameter);
+    ROBUST_REQUIRE(!p.parameter_.origin.empty(),
+                   "CompiledProblem: empty perturbation origin");
+    PerturbationSubspace sub;
+    sub.name = p.parameter_.name;
+    sub.origin = p.parameter_.origin;
+    sub.norm = static_cast<int>(p.options_.norm);
+    sub.normWeights = p.options_.normWeights;
+    sub.discrete = p.parameter_.discrete;
+    sub.units = p.parameter_.units;
+    p.subspaces_.push_back(std::move(sub));
+  } else {
+    p.subspaces_ = std::move(spec.subspaces);
+    num::Vec origin;
+    bool allDiscrete = true;
+    std::string name;
+    for (const PerturbationSubspace& sub : p.subspaces_) {
+      ROBUST_REQUIRE(!sub.origin.empty(),
+                     "CompiledProblem: subspace '" + sub.name +
+                         "' has an empty origin");
+      origin.insert(origin.end(), sub.origin.begin(), sub.origin.end());
+      allDiscrete = allDiscrete && sub.discrete;
+      if (!name.empty()) {
+        name += " + ";
+      }
+      name += sub.name;
+    }
+    p.parameter_.name = std::move(name);
+    p.parameter_.origin = std::move(origin);
+    p.parameter_.discrete = allDiscrete;
+    p.parameter_.units =
+        p.subspaces_.size() == 1 ? p.subspaces_[0].units : std::string{};
+    if (p.subspaces_.size() == 1) {
+      // A single explicit subspace IS the legacy formulation: route it
+      // through the identical options-driven arithmetic.
+      p.options_.norm = static_cast<NormKind>(p.subspaces_[0].norm);
+      p.options_.normWeights = p.subspaces_[0].normWeights;
+    }
+  }
+  p.multi_ = p.subspaces_.size() > 1;
   p.dim_ = p.parameter_.origin.size();
-  if (p.options_.norm == NormKind::Weighted) {
+
+  p.subOffsets_.resize(p.subspaces_.size() + 1);
+  p.subOffsets_[0] = 0;
+  for (std::size_t s = 0; s < p.subspaces_.size(); ++s) {
+    const PerturbationSubspace& sub = p.subspaces_[s];
+    ROBUST_REQUIRE(sub.norm >= 0 && sub.norm <= 3,
+                   "CompiledProblem: subspace '" + sub.name +
+                       "' has an invalid norm kind");
+    if (static_cast<NormKind>(sub.norm) == NormKind::Weighted) {
+      ROBUST_REQUIRE(sub.normWeights.size() == sub.origin.size(),
+                     "CompiledProblem: weighted subspace '" + sub.name +
+                         "' requires one weight per component");
+      for (double w : sub.normWeights) {
+        ROBUST_REQUIRE(w > 0.0,
+                       "CompiledProblem: norm weights must be positive");
+      }
+    }
+    p.subOffsets_[s + 1] = p.subOffsets_[s] + sub.origin.size();
+  }
+  if (!p.multi_ && p.options_.norm == NormKind::Weighted) {
     ROBUST_REQUIRE(p.options_.normWeights.size() == p.dim_,
                    "CompiledProblem: weighted norm requires one weight "
                    "per perturbation component");
@@ -364,11 +476,76 @@ CompiledProblem CompiledProblem::compile(ProblemSpec spec) {
     }
   }
 
+  // Effective dual of the COMBINED displacement norm (max over subspaces
+  // of the block norm): the sum over blocks of the block-restricted dual.
+  // With one subspace this is the very dualNorm() call that filled
+  // dualNorms_, so the legacy lane's bits are reused unchanged.
+  const std::size_t nSub = p.subspaces_.size();
+  if (!p.multi_) {
+    p.effDual_ = p.dualNorms_[static_cast<int>(p.options_.norm)];
+  } else {
+    p.blockDuals_.assign(rows * nSub, 0.0);
+    p.effDual_.assign(rows, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t r = p.rowIndex_[i];
+      if (r == kNoRow) {
+        continue;
+      }
+      const std::span<const double> row = p.rowOf(i);
+      double sum = 0.0;
+      for (std::size_t s = 0; s < nSub; ++s) {
+        const PerturbationSubspace& sub = p.subspaces_[s];
+        const double d = dualNorm(
+            row.subspan(p.subOffsets_[s], sub.origin.size()),
+            static_cast<NormKind>(sub.norm), sub.normWeights);
+        p.blockDuals_[r * nSub + s] = d;
+        sum += d;
+      }
+      p.effDual_[r] = sum;
+    }
+  }
+
+  const bool analyticConfig = p.options_.solver == SolverKind::Auto ||
+                              p.options_.solver == SolverKind::Analytic;
+  if (p.multi_) {
+    // The iterative/Monte-Carlo solvers measure plain L2 distance; under
+    // the combined block norm only the analytic affine lane is defined.
+    ROBUST_REQUIRE(p.callables_.empty(),
+                   "CompiledProblem: multiple subspaces require affine "
+                   "features");
+    ROBUST_REQUIRE(analyticConfig,
+                   "CompiledProblem: multiple subspaces require the "
+                   "Auto/Analytic solver");
+  }
+
+  p.constraints_ = std::move(spec.constraints);
+  for (const LinearConstraint& c : p.constraints_) {
+    ROBUST_REQUIRE(c.coeffs.size() == p.dim_,
+                   "CompiledProblem: constraint '" + c.name +
+                       "' dimension does not match the perturbation space");
+    ROBUST_REQUIRE(num::norm2(c.coeffs) > 0.0,
+                   "CompiledProblem: constraint '" + c.name +
+                       "' has a zero coefficient row");
+  }
+  if (!p.constraints_.empty()) {
+    ROBUST_REQUIRE(p.callables_.empty(),
+                   "CompiledProblem: constraints require affine features");
+    ROBUST_REQUIRE(analyticConfig,
+                   "CompiledProblem: constraints require the Auto/Analytic "
+                   "solver");
+    for (const PerturbationSubspace& sub : p.subspaces_) {
+      const auto kind = static_cast<NormKind>(sub.norm);
+      ROBUST_REQUIRE(kind == NormKind::L2 || kind == NormKind::Weighted,
+                     "CompiledProblem: constraints require Euclidean "
+                     "(L2/Weighted) subspace norms");
+    }
+  }
+
   // The metric lane's kernel fast path applies when affine rows resolve to
-  // the analytic solver; cache their default-origin dots (blocked kernel
-  // order — the lane's own arithmetic, not the legacy element order).
-  p.fastSolver_ = p.options_.solver == SolverKind::Auto ||
-                  p.options_.solver == SolverKind::Analytic;
+  // the analytic solver AND no feasibility region clips the radius search;
+  // cache their default-origin dots (blocked kernel order — the lane's own
+  // arithmetic, not the legacy element order).
+  p.fastSolver_ = analyticConfig && p.constraints_.empty();
   p.dotOrigin_.resize(rows);
   num::simd::dotRowsBlocked(p.weights_.data(), rows, p.parameter_.origin,
                             p.dotOrigin_.data());
@@ -403,6 +580,13 @@ void CompiledProblem::radiusOfInto(std::size_t index,
           obs::counterId("core.radius_analytic");
       obs::addCounter(kAnalytic);
     }
+    if (multi_) {
+      radiusOfMulti(index, origin, constant, scale, out, workspace);
+      if (!constraints_.empty()) {
+        clipToFeasible(index, origin, constant, scale, out);
+      }
+      return;
+    }
     std::span<const double> w = rowOf(index);
     double hint = dualNorms_[static_cast<int>(options_.norm)][rowIndex_[index]];
     double weightedHint = options_.norm == NormKind::Weighted
@@ -422,6 +606,9 @@ void CompiledProblem::radiusOfInto(std::size_t index,
     evaluateAffineRadius(
         AffineFeatureView{w, constant, f.bounds.min, f.bounds.max}, origin,
         options_, f.name, out, hint, weightedHint);
+    if (!constraints_.empty()) {
+      clipToFeasible(index, origin, constant, scale, out);
+    }
     return;
   }
 
@@ -490,6 +677,332 @@ void CompiledProblem::radiusSlowPath(std::size_t index,
   out = std::move(best);
 }
 
+void CompiledProblem::radiusOfMulti(std::size_t index,
+                                    std::span<const double> origin,
+                                    double constant, double scale,
+                                    RadiusReport& out,
+                                    EvalWorkspace& workspace) const {
+  const PerformanceFeature& f = features_[index];
+  const std::size_t row = rowIndex_[index];
+  const std::size_t nSub = subspaces_.size();
+  std::span<const double> w = rowOf(index);
+  const double* blockDual = blockDuals_.data() + row * nSub;
+  num::Vec scaledDuals;
+  if (scale != 1.0) {
+    ROBUST_REQUIRE(scale > 0.0,
+                   "CompiledProblem: instance scales must be positive");
+    workspace.scaledRow_.resize(dim_);
+    for (std::size_t k = 0; k < dim_; ++k) {
+      workspace.scaledRow_[k] = w[k] * scale;
+    }
+    w = workspace.scaledRow_;
+    // Dual norms are positively homogeneous: dual(s * a) = s * dual(a).
+    scaledDuals.resize(nSub);
+    for (std::size_t s = 0; s < nSub; ++s) {
+      scaledDuals[s] = blockDual[s] * scale;
+    }
+    blockDual = scaledDuals.data();
+  }
+  double denom = 0.0;
+  for (std::size_t s = 0; s < nSub; ++s) {
+    denom += blockDual[s];
+  }
+
+  out.feature = f.name;
+  const double dotOrigin = num::dot(w, origin);
+  const double atOrigin = dotOrigin + constant;
+  if (!f.bounds.contains(atOrigin)) {
+    out.radius = 0.0;
+    out.boundaryPoint.assign(origin.begin(), origin.end());
+    out.boundaryLevel = atOrigin;
+    out.boundReachable = true;
+    out.method = kViolatedAtOrigin;
+    return;
+  }
+  ROBUST_REQUIRE(denom > 0.0,
+                 "analytic radius: impact does not depend on the parameter");
+
+  double bestRadius = kInf;
+  double bestLevel = 0.0;
+  bool haveBest = false;
+  for (const auto& level : {f.bounds.min, f.bounds.max}) {
+    if (!level) {
+      continue;
+    }
+    const double radius = std::fabs(dotOrigin - (*level - constant)) / denom;
+    if (radius < bestRadius) {
+      bestRadius = radius;
+      bestLevel = *level;
+      haveBest = true;
+    }
+  }
+  if (!haveBest) {
+    out.radius = kInf;
+    out.boundaryPoint.clear();
+    out.boundaryLevel = 0.0;
+    out.boundReachable = false;
+    out.method.clear();
+    return;
+  }
+  out.radius = bestRadius;
+  out.boundaryLevel = bestLevel;
+  out.boundReachable = true;
+  static const std::string kMulti = "analytic-multi";
+  out.method = kMulti;
+
+  // Boundary point: the displacement that reaches the hyperplane with the
+  // smallest combined (max-over-blocks) norm spreads the gap across blocks
+  // proportionally to their dual norms — every contributing block then sits
+  // at the same block-norm distance, the radius.
+  out.boundaryPoint.assign(origin.begin(), origin.end());
+  const double gap = (bestLevel - constant) - dotOrigin;
+  for (std::size_t s = 0; s < nSub; ++s) {
+    if (!(blockDual[s] > 0.0)) {
+      continue;  // the row does not touch this block; it stays at origin
+    }
+    const PerturbationSubspace& sub = subspaces_[s];
+    const std::size_t off = subOffsets_[s];
+    const std::size_t len = sub.origin.size();
+    addBlockDisplacement(w.subspan(off, len), gap * blockDual[s] / denom,
+                         static_cast<NormKind>(sub.norm), sub.normWeights,
+                         std::span<double>(out.boundaryPoint).subspan(off,
+                                                                      len));
+  }
+}
+
+bool CompiledProblem::originFeasible(std::span<const double> origin) const {
+  for (const LinearConstraint& c : constraints_) {
+    const double v = num::dot(c.coeffs, origin);
+    if (v > c.bound + 1e-12 * (1.0 + std::fabs(c.bound))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void CompiledProblem::reportInfeasibleOrigin(std::span<const double> origin,
+                                             RobustnessReport& report) const {
+  const std::size_t n = features_.size();
+  report.radii.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    RadiusReport& r = report.radii[i];
+    r.feature = features_[i].name;
+    r.radius = 0.0;
+    r.boundaryPoint.assign(origin.begin(), origin.end());
+    r.boundaryLevel = 0.0;
+    r.boundReachable = true;
+    r.method = kInfeasibleOrigin;
+  }
+  report.metric = 0.0;
+  report.bindingFeature = 0;
+  report.floored = false;
+  report.infeasibleOrigin = true;
+  if (obs::enabled()) [[unlikely]] {
+    static const obs::MetricId kInfeasible =
+        obs::counterId("core.feasibility.infeasible_origin");
+    obs::addCounter(kInfeasible);
+  }
+}
+
+void CompiledProblem::clipToFeasible(std::size_t index,
+                                     std::span<const double> origin,
+                                     double constant, double scale,
+                                     RadiusReport& out) const {
+  if (out.radius == 0.0 || !out.boundReachable) {
+    return;  // violated at origin / no boundary: nothing to clip
+  }
+  bool pointFeasible = true;
+  for (const LinearConstraint& c : constraints_) {
+    const double v = num::dot(c.coeffs, out.boundaryPoint);
+    if (v > c.bound + 1e-9 * (1.0 + std::fabs(c.bound))) {
+      pointFeasible = false;
+      break;
+    }
+  }
+  if (pointFeasible) {
+    return;  // the unconstrained nearest violation is admissible as-is
+  }
+  if (obs::enabled()) [[unlikely]] {
+    static const obs::MetricId kClipped =
+        obs::counterId("core.feasibility.clipped");
+    obs::addCounter(kClipped);
+  }
+
+  const PerformanceFeature& f = features_[index];
+  std::span<const double> w = rowOf(index);
+  num::Vec scaledRow;
+  if (scale != 1.0) {
+    ROBUST_REQUIRE(scale > 0.0,
+                   "CompiledProblem: instance scales must be positive");
+    scaledRow.resize(dim_);
+    for (std::size_t k = 0; k < dim_; ++k) {
+      scaledRow[k] = w[k] * scale;
+    }
+    w = scaledRow;
+  }
+
+  // Rescale coordinates so every (L2/Weighted) subspace norm becomes plain
+  // L2: x~_k = t_k x_k with t_k = sqrt(w_k). Halfspace normals transform
+  // contravariantly (n~_k = n_k / t_k); block balls become Euclidean.
+  const std::size_t nSub = subspaces_.size();
+  num::Vec t(dim_, 1.0);
+  for (std::size_t s = 0; s < nSub; ++s) {
+    const PerturbationSubspace& sub = subspaces_[s];
+    if (static_cast<NormKind>(sub.norm) == NormKind::Weighted) {
+      for (std::size_t i = 0; i < sub.origin.size(); ++i) {
+        t[subOffsets_[s] + i] = std::sqrt(sub.normWeights[i]);
+      }
+    }
+  }
+  num::Vec tx0(dim_);
+  for (std::size_t k = 0; k < dim_; ++k) {
+    tx0[k] = origin[k] * t[k];
+  }
+  std::vector<num::Halfspace> sets(1 + constraints_.size());
+  for (std::size_t j = 0; j < constraints_.size(); ++j) {
+    num::Halfspace& h = sets[1 + j];
+    h.normal.resize(dim_);
+    for (std::size_t k = 0; k < dim_; ++k) {
+      h.normal[k] = constraints_[j].coeffs[k] / t[k];
+    }
+    h.offset = constraints_[j].bound;
+    h.geq = false;
+  }
+  num::Vec an(dim_);
+  for (std::size_t k = 0; k < dim_; ++k) {
+    an[k] = w[k] / t[k];
+  }
+
+  const num::ProjectionOptions popt;
+  double bestRadius = kInf;
+  double bestLevel = 0.0;
+  num::Vec bestPoint;
+  const std::string* method = nullptr;
+  static const std::string kDykstra = "dykstra-clip";
+  static const std::string kPocs = "pocs-bisect";
+  static const std::string kInfeasibleRegion = "infeasible-region";
+
+  const double dot0 = num::dot(w, origin);
+  double effD = 0.0;
+  if (multi_) {
+    const double* blockDual =
+        blockDuals_.data() + rowIndex_[index] * nSub;
+    for (std::size_t s = 0; s < nSub; ++s) {
+      effD += blockDual[s] * scale;
+    }
+  }
+
+  auto untransform = [&](const num::Vec& p) {
+    num::Vec x(dim_);
+    for (std::size_t k = 0; k < dim_; ++k) {
+      x[k] = p[k] / t[k];
+    }
+    return x;
+  };
+
+  auto solveBound = [&](double level, bool geq) {
+    num::Halfspace& viol = sets[0];
+    viol.normal = an;
+    viol.offset = level - constant;
+    viol.geq = geq;
+    if (nSub == 1) {
+      // One Euclidean subspace: the constrained nearest violation is the
+      // exact Dykstra projection of the origin onto {violation halfspace}
+      // intersected with the capacity polytope.
+      const num::ProjectionResult res =
+          num::projectOntoIntersection(sets, tx0, popt);
+      if (!res.converged) {
+        return;  // empty intersection: this bound is unreachable
+      }
+      double sumSq = 0.0;
+      for (std::size_t k = 0; k < dim_; ++k) {
+        const double d = res.point[k] - tx0[k];
+        sumSq += d * d;
+      }
+      const double dist = std::sqrt(sumSq);
+      if (dist < bestRadius) {
+        bestRadius = dist;
+        bestLevel = level;
+        bestPoint = untransform(res.point);
+        method = &kDykstra;
+      }
+      return;
+    }
+    // Several subspaces: the combined norm (max over block L2 norms) is
+    // not Euclidean, so bisect on the radius with a POCS membership
+    // oracle over {halfspaces} + {per-block balls of radius r}.
+    std::vector<num::BlockBall> balls(nSub);
+    for (std::size_t s = 0; s < nSub; ++s) {
+      balls[s].offset = subOffsets_[s];
+      balls[s].center.assign(
+          tx0.begin() + static_cast<std::ptrdiff_t>(subOffsets_[s]),
+          tx0.begin() + static_cast<std::ptrdiff_t>(subOffsets_[s + 1]));
+    }
+    num::Vec pt;
+    auto member = [&](double r) {
+      for (num::BlockBall& b : balls) {
+        b.radius = r;
+      }
+      num::ProjectionResult res = num::feasiblePoint(sets, balls, tx0, popt);
+      if (res.converged) {
+        pt = std::move(res.point);
+      }
+      return res.converged;
+    };
+    double lo = std::fabs(dot0 - (level - constant)) / effD;
+    double candidate;
+    if (member(lo)) {
+      candidate = lo;  // the unconstrained radius is already achievable
+    } else {
+      double hi = std::max(lo, 1e-6);
+      bool found = false;
+      for (int d = 0; d < 64 && !found; ++d) {
+        hi *= 2.0;
+        found = member(hi);
+      }
+      if (!found) {
+        return;  // no feasible violation at any radius: unreachable
+      }
+      for (int it = 0; it < 100 && hi - lo > 1e-9 * std::max(1.0, hi);
+           ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (member(mid)) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      candidate = hi;  // pt holds the POCS point of the last feasible r
+    }
+    if (candidate < bestRadius) {
+      bestRadius = candidate;
+      bestLevel = level;
+      bestPoint = untransform(pt);
+      method = &kPocs;
+    }
+  };
+  if (f.bounds.min) {
+    solveBound(*f.bounds.min, /*geq=*/false);
+  }
+  if (f.bounds.max) {
+    solveBound(*f.bounds.max, /*geq=*/true);
+  }
+
+  if (method == nullptr) {
+    out.radius = kInf;
+    out.boundaryPoint.clear();
+    out.boundaryLevel = 0.0;
+    out.boundReachable = false;
+    out.method = kInfeasibleRegion;
+    return;
+  }
+  out.radius = bestRadius;
+  out.boundaryLevel = bestLevel;
+  out.boundaryPoint = std::move(bestPoint);
+  out.boundReachable = true;
+  out.method = *method;
+}
+
 std::span<const double> CompiledProblem::resolveOrigin(
     const AnalysisInstance& instance) const {
   const std::span<const double> origin =
@@ -514,10 +1027,17 @@ const RobustnessReport& CompiledProblem::evaluate(
   const std::size_t n = features_.size();
 
   RobustnessReport& report = workspace.report_;
+  if (!constraints_.empty() && !originFeasible(origin)) {
+    // The operating point itself breaks a hard constraint: the mapping is
+    // inadmissible, reported as a first-class outcome rather than radii.
+    reportInfeasibleOrigin(origin, report);
+    return report;
+  }
   report.radii.resize(n);
   report.metric = kInf;
   report.bindingFeature = 0;
   report.floored = false;
+  report.infeasibleOrigin = false;
   for (std::size_t i = 0; i < n; ++i) {
     const bool affine = rowIndex_[i] != kNoRow;
     const double constant =
@@ -563,6 +1083,20 @@ RadiusReport CompiledProblem::radiusOf(std::size_t index) const {
                  "CompiledProblem: feature index out of range");
   EvalWorkspace workspace;
   RadiusReport out;
+  if (!constraints_.empty() && !originFeasible(parameter_.origin)) {
+    out.feature = features_[index].name;
+    out.radius = 0.0;
+    out.boundaryPoint = parameter_.origin;
+    out.boundaryLevel = 0.0;
+    out.boundReachable = true;
+    out.method = kInfeasibleOrigin;
+    if (obs::enabled()) [[unlikely]] {
+      static const obs::MetricId kInfeasible =
+          obs::counterId("core.feasibility.infeasible_origin");
+      obs::addCounter(kInfeasible);
+    }
+    return out;
+  }
   radiusOfInto(index, parameter_.origin, constants_[index], 1.0, out,
                workspace);
   return out;
@@ -619,7 +1153,6 @@ MetricResult CompiledProblem::metricFromDots(const AnalysisInstance& instance,
                                              const double* dots, bool prune,
                                              MetricWorkspace& workspace) const {
   const std::size_t n = features_.size();
-  const auto normIdx = static_cast<int>(options_.norm);
 
   MetricResult result;
   result.metric = kInf;
@@ -645,14 +1178,14 @@ MetricResult CompiledProblem::metricFromDots(const AnalysisInstance& instance,
       double deff;
       if (scale == 1.0) {
         atOrigin = dots[row] + constant;
-        deff = dualNorms_[normIdx][row];
+        deff = effDual_[row];
       } else {
         ROBUST_REQUIRE(scale > 0.0,
                        "CompiledProblem: instance scales must be positive");
         // f(pi) = s*(w.pi) + c and ||s*w||_dual = s*||w||_dual: the lane
         // rescales the two scalars instead of the whole row.
         atOrigin = scale * dots[row] + constant;
-        deff = scale * dualNorms_[normIdx][row];
+        deff = scale * effDual_[row];
       }
       const auto& bounds = features_[i].bounds;
       const bool withinMin = !bounds.min || atOrigin >= *bounds.min;

@@ -12,11 +12,28 @@ FepiaBuilder& FepiaBuilder::perturbation(std::string name, num::Vec origin,
   ROBUST_REQUIRE(!haveParameter_,
                  "FepiaBuilder: perturbation parameter already set (the "
                  "single-parameter analyzer handles one pi_j; analyze each "
-                 "parameter separately and combine with combinedRobustness)");
+                 "parameter separately and combine with combinedRobustness, "
+                 "or describe a joint space with subspace())");
+  ROBUST_REQUIRE(subspaces_.empty(),
+                 "FepiaBuilder: perturbation() and subspace() are mutually "
+                 "exclusive");
   parameter_ =
       PerturbationParameter{std::move(name), std::move(origin), discrete,
                             std::move(units)};
   haveParameter_ = true;
+  return *this;
+}
+
+FepiaBuilder& FepiaBuilder::subspace(PerturbationSubspace sub) {
+  ROBUST_REQUIRE(!haveParameter_,
+                 "FepiaBuilder: perturbation() and subspace() are mutually "
+                 "exclusive");
+  subspaces_.push_back(std::move(sub));
+  return *this;
+}
+
+FepiaBuilder& FepiaBuilder::constraint(LinearConstraint constraint) {
+  constraints_.push_back(std::move(constraint));
   return *this;
 }
 
@@ -41,12 +58,18 @@ FepiaBuilder& FepiaBuilder::options(AnalyzerOptions options) {
 
 ProblemSpec FepiaBuilder::spec() {
   ROBUST_REQUIRE(!built_, "FepiaBuilder: build() already called");
-  ROBUST_REQUIRE(haveParameter_,
+  ROBUST_REQUIRE(haveParameter_ || !subspaces_.empty(),
                  "FepiaBuilder: step 2 (perturbation parameter) missing");
   ROBUST_REQUIRE(!features_.empty(),
                  "FepiaBuilder: steps 1/3 (performance features) missing");
   built_ = true;
-  return ProblemSpec{std::move(features_), std::move(parameter_), options_};
+  ProblemSpec spec;
+  spec.features = std::move(features_);
+  spec.parameter = std::move(parameter_);
+  spec.options = options_;
+  spec.subspaces = std::move(subspaces_);
+  spec.constraints = std::move(constraints_);
+  return spec;
 }
 
 CompiledProblem FepiaBuilder::compile() {
@@ -54,9 +77,7 @@ CompiledProblem FepiaBuilder::compile() {
 }
 
 RobustnessAnalyzer FepiaBuilder::build() {
-  ProblemSpec s = spec();
-  return RobustnessAnalyzer(std::move(s.features), std::move(s.parameter),
-                            std::move(s.options));
+  return RobustnessAnalyzer(spec());
 }
 
 }  // namespace robust::core

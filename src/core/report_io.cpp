@@ -67,6 +67,9 @@ void printReport(std::ostream& os, const RobustnessReport& report,
   if (report.floored) {
     os << " (floored: discrete parameter)";
   }
+  if (report.infeasibleOrigin) {
+    os << " (origin violates a hard perturbation constraint)";
+  }
   os << "\nbinding feature: "
      << report.radii[report.bindingFeature].feature << ", boundary point "
      << vecString(report.radii[report.bindingFeature].boundaryPoint,

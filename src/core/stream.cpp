@@ -90,9 +90,7 @@ struct Arena {
 class StreamEngine {
  public:
   StreamEngine(const CompiledProblem& problem, const StreamOptions& options)
-      : p_(problem),
-        opt_(options),
-        normIdx_(static_cast<int>(problem.options_.norm)) {
+      : p_(problem), opt_(options) {
     // The screen's premises: every feature is an affine row evaluated by
     // the analytic kernel lane, and the metric is not discrete-floored
     // (flooring breaks the strict-inequality argument that lets a
@@ -120,7 +118,7 @@ class StreamEngine {
   /// screened row can never change the returned bits.
   [[nodiscard]] bool screenRow(std::size_t i, std::size_t r, double delta,
                                double rho) const {
-    const double deff = p_.dualNorms_[normIdx_][r];
+    const double deff = p_.effDual_[r];
     if (!(deff > 0.0)) {
       return false;  // degenerate / NaN dual norms must keep failing
                      // exactly as the serial lane fails
@@ -160,7 +158,7 @@ class StreamEngine {
       }
       const double atOrigin =
           num::simd::dotBlocked(p_.rowOf(i), x) + p_.constants_[i];
-      const double deff = p_.dualNorms_[normIdx_][row];
+      const double deff = p_.effDual_[row];
       const auto& bounds = p_.features_[i].bounds;
       const bool withinMin = !bounds.min || atOrigin >= *bounds.min;
       const bool withinMax = !bounds.max || atOrigin <= *bounds.max;
@@ -196,7 +194,6 @@ class StreamEngine {
 
   const CompiledProblem& p_;
   const StreamOptions& opt_;
-  int normIdx_;
   bool screen_ = false;
   double relMargin_ = 0.0;
   double absCoeff_ = 0.0;

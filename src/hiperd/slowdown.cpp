@@ -58,19 +58,23 @@ core::ProblemSpec slowdownSpec(const HiperdSystem& system,
   ROBUST_REQUIRE(!features.empty(),
                  "slowdownAnalyzer: no feature depends on machine speed");
 
-  core::PerturbationParameter parameter{
-      "s (machine slowdown factors)", num::Vec(machines, 1.0),
-      /*discrete=*/false, "x (multiple of assumed speed)"};
-  return core::ProblemSpec{std::move(features), std::move(parameter),
-                           std::move(options)};
+  core::PerturbationSubspace s;
+  s.name = "s (machine slowdown factors)";
+  s.origin = num::Vec(machines, 1.0);
+  s.norm = static_cast<int>(options.norm);
+  s.normWeights = options.normWeights;
+  s.units = "x (multiple of assumed speed)";
+
+  core::ProblemSpec spec;
+  spec.features = std::move(features);
+  spec.options = std::move(options);
+  spec.subspaces.push_back(std::move(s));
+  return spec;
 }
 
 core::RobustnessAnalyzer slowdownAnalyzer(const HiperdSystem& system,
                                           core::AnalyzerOptions options) {
-  core::ProblemSpec spec = slowdownSpec(system, std::move(options));
-  return core::RobustnessAnalyzer(std::move(spec.features),
-                                  std::move(spec.parameter),
-                                  std::move(spec.options));
+  return core::RobustnessAnalyzer(slowdownSpec(system, std::move(options)));
 }
 
 }  // namespace robust::hiperd

@@ -226,11 +226,21 @@ core::RobustnessAnalyzer HiperdSystem::toAnalyzer(
         core::ToleranceBounds::atMost(scenario_.latencyLimits[k])});
   }
 
-  core::PerturbationParameter parameter{
-      "lambda (sensor loads)", scenario_.lambdaOrig, /*discrete=*/true,
-      "objects per data set"};
-  return core::RobustnessAnalyzer(std::move(features), std::move(parameter),
-                                  options);
+  // Trivial single-subspace instance of the general perturbation model:
+  // one discrete block, lambda (the sensor loads), Section 3.2 flooring.
+  core::PerturbationSubspace lambda;
+  lambda.name = "lambda (sensor loads)";
+  lambda.origin = scenario_.lambdaOrig;
+  lambda.norm = static_cast<int>(options.norm);
+  lambda.normWeights = options.normWeights;
+  lambda.discrete = true;
+  lambda.units = "objects per data set";
+
+  core::ProblemSpec spec;
+  spec.features = std::move(features);
+  spec.options = options;
+  spec.subspaces.push_back(std::move(lambda));
+  return core::RobustnessAnalyzer(std::move(spec));
 }
 
 core::RobustnessReport HiperdSystem::analyze(

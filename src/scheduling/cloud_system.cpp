@@ -1,0 +1,225 @@
+#include "robust/scheduling/cloud_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "robust/util/error.hpp"
+
+namespace robust::sched {
+
+CloudSystem::CloudSystem(CloudScenario scenario)
+    : scenario_(std::move(scenario)) {
+  ROBUST_REQUIRE(scenario_.etc.apps() > 0 && scenario_.etc.machines() > 0,
+                 "CloudSystem: empty ETC matrix");
+  ROBUST_REQUIRE(scenario_.memDemand.size() == scenario_.etc.apps(),
+                 "CloudSystem: memDemand size != task count");
+  ROBUST_REQUIRE(scenario_.memCapacity.size() == scenario_.etc.machines(),
+                 "CloudSystem: memCapacity size != machine count");
+  ROBUST_REQUIRE(scenario_.replication >= 1,
+                 "CloudSystem: replication factor must be >= 1");
+  ROBUST_REQUIRE(scenario_.tau >= 1.0,
+                 "CloudSystem: tau < 1 would declare the predicted makespan "
+                 "itself a violation");
+  for (double demand : scenario_.memDemand) {
+    ROBUST_REQUIRE(demand >= 0.0, "CloudSystem: negative memory demand");
+  }
+  for (double capacity : scenario_.memCapacity) {
+    ROBUST_REQUIRE(capacity >= 0.0, "CloudSystem: negative memory capacity");
+  }
+}
+
+std::size_t CloudSystem::taskOfSlot(std::size_t slot) const {
+  ROBUST_REQUIRE(slot < slots(), "taskOfSlot: slot index out of range");
+  return slot / scenario_.replication;
+}
+
+Mapping CloudSystem::greedyMapping() const {
+  const std::size_t T = tasks();
+  const std::size_t M = machines();
+  const std::size_t R = scenario_.replication;
+  std::vector<std::size_t> assignment(T * R, 0);
+  std::vector<double> finish(M, 0.0);
+  std::vector<bool> hostsTask(M, false);
+  for (std::size_t t = 0; t < T; ++t) {
+    std::fill(hostsTask.begin(), hostsTask.end(), false);
+    for (std::size_t r = 0; r < R; ++r) {
+      // Prefer machines not yet hosting this task (distinct hosts raise the
+      // failure radius); only when every machine already hosts it may a
+      // replica double up.
+      std::size_t best = M;
+      double bestFinish = std::numeric_limits<double>::infinity();
+      const bool allUsed =
+          std::all_of(hostsTask.begin(), hostsTask.end(),
+                      [](bool used) { return used; });
+      for (std::size_t j = 0; j < M; ++j) {
+        if (!allUsed && hostsTask[j]) {
+          continue;
+        }
+        const double candidate = finish[j] + scenario_.etc(t, j);
+        if (candidate < bestFinish) {
+          bestFinish = candidate;
+          best = j;
+        }
+      }
+      assignment[t * R + r] = best;
+      finish[best] = bestFinish;
+      hostsTask[best] = true;
+    }
+  }
+  return Mapping(std::move(assignment), M);
+}
+
+double CloudSystem::memoryViolation(const Mapping& mapping) const {
+  ROBUST_REQUIRE(mapping.apps() == slots() && mapping.machines() == machines(),
+                 "CloudSystem: mapping shape does not match the scenario "
+                 "(slots x machines)");
+  num::Vec demand(machines(), 0.0);
+  for (std::size_t slot = 0; slot < slots(); ++slot) {
+    demand[mapping.machineOf(slot)] += scenario_.memDemand[taskOfSlot(slot)];
+  }
+  double violation = 0.0;
+  for (std::size_t j = 0; j < machines(); ++j) {
+    violation += std::max(0.0, demand[j] - scenario_.memCapacity[j]);
+  }
+  return violation;
+}
+
+bool CloudSystem::isFeasible(const Mapping& mapping) const {
+  return memoryViolation(mapping) == 0.0;
+}
+
+double CloudSystem::predictedMakespan(const Mapping& mapping) const {
+  ROBUST_REQUIRE(mapping.apps() == slots() && mapping.machines() == machines(),
+                 "CloudSystem: mapping shape does not match the scenario "
+                 "(slots x machines)");
+  num::Vec finish(machines(), 0.0);
+  for (std::size_t slot = 0; slot < slots(); ++slot) {
+    const std::size_t j = mapping.machineOf(slot);
+    finish[j] += scenario_.etc(taskOfSlot(slot), j);
+  }
+  return *std::max_element(finish.begin(), finish.end());
+}
+
+core::FailureModel CloudSystem::failureModel(const Mapping& mapping) const {
+  ROBUST_REQUIRE(mapping.apps() == slots() && mapping.machines() == machines(),
+                 "CloudSystem: mapping shape does not match the scenario "
+                 "(slots x machines)");
+  core::FailureModel model;
+  model.machines = machines();
+  model.replicaHosts.resize(tasks());
+  const std::size_t R = scenario_.replication;
+  for (std::size_t t = 0; t < tasks(); ++t) {
+    model.replicaHosts[t].reserve(R);
+    for (std::size_t r = 0; r < R; ++r) {
+      model.replicaHosts[t].push_back(mapping.machineOf(t * R + r));
+    }
+  }
+  return model;
+}
+
+std::size_t CloudSystem::failureRadius(const Mapping& mapping) const {
+  return core::failureRadius(failureModel(mapping));
+}
+
+core::ProblemSpec CloudSystem::toSpec(const Mapping& mapping,
+                                      core::AnalyzerOptions options) const {
+  const std::size_t T = tasks();
+  const std::size_t M = machines();
+  const double bound = scenario_.tau * predictedMakespan(mapping);
+
+  // Per-machine load at the origin, expressed over [s (dim T), d (dim M)].
+  std::vector<num::Vec> loadWeights(M);
+  std::vector<num::Vec> memCoeffs(M);
+  std::vector<bool> occupied(M, false);
+  for (std::size_t slot = 0; slot < slots(); ++slot) {
+    const std::size_t j = mapping.machineOf(slot);
+    const std::size_t t = taskOfSlot(slot);
+    if (!occupied[j]) {
+      loadWeights[j].assign(T + M, 0.0);
+      memCoeffs[j].assign(T + M, 0.0);
+      occupied[j] = true;
+    }
+    loadWeights[j][t] += scenario_.etc(t, j);
+    memCoeffs[j][t] += scenario_.memDemand[t];
+  }
+
+  core::ProblemSpec spec;
+  for (std::size_t j = 0; j < M; ++j) {
+    if (!occupied[j]) {
+      continue;  // identically-zero finishing time; no boundary, no demand
+    }
+    loadWeights[j][T + j] = 1.0;  // the machine's own load offset d_j
+    spec.features.push_back(core::PerformanceFeature{
+        "F_" + std::to_string(j),
+        core::ImpactFunction::affine(std::move(loadWeights[j]), 0.0),
+        core::ToleranceBounds::atMost(bound)});
+    spec.constraints.push_back(core::LinearConstraint{
+        "memory capacity of m_" + std::to_string(j),
+        std::move(memCoeffs[j]), scenario_.memCapacity[j]});
+  }
+
+  core::PerturbationSubspace s;
+  s.name = "s (task size multipliers)";
+  s.origin = num::Vec(T, 1.0);
+  s.norm = static_cast<int>(core::NormKind::L2);
+  s.units = "x (multiple of estimated size)";
+  spec.subspaces.push_back(std::move(s));
+
+  core::PerturbationSubspace d;
+  d.name = "d (machine load offsets)";
+  d.origin = num::Vec(M, 0.0);
+  d.norm = static_cast<int>(core::NormKind::L2);
+  d.units = "seconds";
+  spec.subspaces.push_back(std::move(d));
+
+  spec.options = std::move(options);
+  return spec;
+}
+
+core::RobustnessReport CloudSystem::analyze(
+    const Mapping& mapping, core::AnalyzerOptions options) const {
+  return core::CompiledProblem::compile(toSpec(mapping, std::move(options)))
+      .evaluate();
+}
+
+MappingObjective CloudSystem::searchObjective(
+    CloudObjectiveOptions objectiveOptions,
+    core::AnalyzerOptions analyzerOptions) const {
+  return [this, objectiveOptions, analyzerOptions](const Mapping& mapping) {
+    const core::FailureModel model = failureModel(mapping);
+    double distinctBonus = 0.0;
+    for (const auto& hosts : model.replicaHosts) {
+      distinctBonus += static_cast<double>(core::distinctHostCount(hosts) - 1);
+    }
+    const double violation = memoryViolation(mapping);
+    if (violation > 0.0) {
+      // Descend on the overcommit first; the vanishing bonus term only
+      // breaks ties between equally-infeasible neighbors in favor of
+      // replica separation.
+      return objectiveOptions.infeasiblePenalty + violation -
+             1e-6 * distinctBonus;
+    }
+    const double rho = analyze(mapping, analyzerOptions).metric;
+    // Score hierarchy: failure radius >> distinct-host bonus >> rho. The
+    // caps keep each tier from ever outvoting the one above it (and make
+    // +inf metrics — every bound unreachable — comparable).
+    const double rhoTerm =
+        std::isfinite(rho)
+            ? std::min(rho, objectiveOptions.distinctHostWeight / 2)
+            : objectiveOptions.distinctHostWeight / 2;
+    const double radius = static_cast<double>(core::failureRadius(model));
+    return -(objectiveOptions.failureWeight * radius +
+             objectiveOptions.distinctHostWeight * distinctBonus + rhoTerm);
+  };
+}
+
+Mapping CloudSystem::improve(Mapping start, int maxRounds) const {
+  return localSearch(slots(), machines(), std::move(start), searchObjective(),
+                     maxRounds);
+}
+
+}  // namespace robust::sched

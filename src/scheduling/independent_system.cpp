@@ -119,11 +119,21 @@ core::ProblemSpec IndependentTaskSystem::toSpec(
         core::ToleranceBounds::atMost(bound)});
   }
 
-  core::PerturbationParameter parameter{
-      "C (actual execution times)", estimatedTimes(), /*discrete=*/false,
-      "seconds"};
-  return core::ProblemSpec{std::move(features), std::move(parameter),
-                           std::move(options)};
+  // Trivial single-subspace instance of the general perturbation model:
+  // one continuous block, C (the actual execution times), measured by the
+  // caller's norm. Bit-identical to the legacy parameter formulation.
+  core::PerturbationSubspace c;
+  c.name = "C (actual execution times)";
+  c.origin = estimatedTimes();
+  c.norm = static_cast<int>(options.norm);
+  c.normWeights = options.normWeights;
+  c.units = "seconds";
+
+  core::ProblemSpec spec;
+  spec.features = std::move(features);
+  spec.options = std::move(options);
+  spec.subspaces.push_back(std::move(c));
+  return spec;
 }
 
 core::CompiledProblem IndependentTaskSystem::compile(
@@ -133,10 +143,7 @@ core::CompiledProblem IndependentTaskSystem::compile(
 
 core::RobustnessAnalyzer IndependentTaskSystem::toAnalyzer(
     core::AnalyzerOptions options) const {
-  core::ProblemSpec spec = toSpec(std::move(options));
-  return core::RobustnessAnalyzer(std::move(spec.features),
-                                  std::move(spec.parameter),
-                                  std::move(spec.options));
+  return core::RobustnessAnalyzer(toSpec(std::move(options)));
 }
 
 }  // namespace robust::sched

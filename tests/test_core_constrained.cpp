@@ -1,0 +1,275 @@
+// Constrained and multi-subspace radii: hand-computable geometry, grid
+// brute-force references, first-class infeasible origins, and the
+// feasibility observability counters (on and off).
+//
+// Brute-force tolerance: the references scan a uniform grid of step h over
+// a box known to contain the constrained nearest violation. A grid point is
+// a true candidate (so gridMin >= radius - slack from the engine's own
+// 1e-9 bisection), and some grid point lies within one cell diagonal of the
+// optimum, so gridMin <= radius + h * sqrt(dim). The asserts below use
+// 2 * h * sqrt(dim) as the documented tolerance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "robust/core/compiled.hpp"
+#include "robust/core/impact.hpp"
+#include "robust/obs/metrics.hpp"
+
+namespace {
+
+using namespace robust;
+using namespace robust::core;
+
+PerturbationSubspace l2Subspace(std::string name, num::Vec origin) {
+  PerturbationSubspace s;
+  s.name = std::move(name);
+  s.origin = std::move(origin);
+  s.norm = static_cast<int>(NormKind::L2);
+  return s;
+}
+
+TEST(Constrained, SingleSubspaceClipMatchesHandGeometry) {
+  // f = x0 + x1 <= 2 from origin (0, 0): unconstrained nearest violation is
+  // (1, 1) at radius sqrt(2). The hard constraint x1 <= 0.5 cuts it off; the
+  // constrained nearest point solves min |x|^2 s.t. x0 + x1 = 2, x1 = 0.5,
+  // i.e. (1.5, 0.5) at radius sqrt(2.5).
+  ProblemSpec spec;
+  spec.features.push_back(PerformanceFeature{
+      "f", ImpactFunction::affine(num::Vec{1.0, 1.0}, 0.0),
+      ToleranceBounds::atMost(2.0)});
+  spec.subspaces.push_back(l2Subspace("pi", num::Vec{0.0, 0.0}));
+  spec.constraints.push_back(
+      LinearConstraint{"cap", num::Vec{0.0, 1.0}, 0.5});
+  const CompiledProblem p = CompiledProblem::compile(std::move(spec));
+
+  const RadiusReport r = p.radiusOf(0);
+  EXPECT_EQ(r.method, "dykstra-clip");
+  EXPECT_NEAR(r.radius, std::sqrt(2.5), 1e-7);
+  ASSERT_EQ(r.boundaryPoint.size(), 2u);
+  EXPECT_NEAR(r.boundaryPoint[0], 1.5, 1e-6);
+  EXPECT_NEAR(r.boundaryPoint[1], 0.5, 1e-6);
+}
+
+TEST(Constrained, FeasibleUnconstrainedPointIsNotClipped) {
+  // The same feature with a slack constraint: the unconstrained nearest
+  // violation (1, 1) already satisfies x1 <= 5, so the analytic radius and
+  // method must come through untouched.
+  ProblemSpec spec;
+  spec.features.push_back(PerformanceFeature{
+      "f", ImpactFunction::affine(num::Vec{1.0, 1.0}, 0.0),
+      ToleranceBounds::atMost(2.0)});
+  spec.subspaces.push_back(l2Subspace("pi", num::Vec{0.0, 0.0}));
+  spec.constraints.push_back(
+      LinearConstraint{"cap", num::Vec{0.0, 1.0}, 5.0});
+  const CompiledProblem p = CompiledProblem::compile(std::move(spec));
+  const RadiusReport r = p.radiusOf(0);
+  EXPECT_EQ(r.method, "analytic-l2");
+  EXPECT_NEAR(r.radius, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Constrained, SingleSubspaceRadiusMatchesGridBruteForce) {
+  // Feature 2 x0 + x1 >= -3 (atLeast) and 3 x0 - x1 <= 4 from origin
+  // (0.5, -0.25), with two capacity constraints. Reference: scan a grid.
+  const num::Vec origin{0.5, -0.25};
+  ProblemSpec spec;
+  spec.features.push_back(PerformanceFeature{
+      "g", ImpactFunction::affine(num::Vec{2.0, 1.0}, 0.0),
+      ToleranceBounds::atLeast(-3.0)});
+  spec.features.push_back(PerformanceFeature{
+      "h", ImpactFunction::affine(num::Vec{3.0, -1.0}, 0.5),
+      ToleranceBounds::atMost(4.0)});
+  spec.subspaces.push_back(l2Subspace("pi", origin));
+  spec.constraints.push_back(
+      LinearConstraint{"c0", num::Vec{1.0, 0.0}, 1.0});   // x0 <= 1
+  spec.constraints.push_back(
+      LinearConstraint{"c1", num::Vec{-1.0, -1.0}, 2.5});  // x0 + x1 >= -2.5
+  const CompiledProblem p = CompiledProblem::compile(std::move(spec));
+
+  const double h = 0.005;
+  const double tol = 2.0 * h * std::sqrt(2.0);
+  for (std::size_t index = 0; index < 2; ++index) {
+    SCOPED_TRACE(index);
+    const RadiusReport r = p.radiusOf(index);
+    double gridMin = std::numeric_limits<double>::infinity();
+    for (double x0 = -4.0; x0 <= 4.0; x0 += h) {
+      for (double x1 = -4.0; x1 <= 4.0; x1 += h) {
+        if (x0 > 1.0 || -(x0 + x1) > 2.5) {
+          continue;  // infeasible: the radius search must ignore it
+        }
+        const bool violates =
+            index == 0 ? (2.0 * x0 + x1 < -3.0)
+                       : (3.0 * x0 - x1 + 0.5 > 4.0);
+        if (!violates) {
+          continue;
+        }
+        const double dist = std::hypot(x0 - origin[0], x1 - origin[1]);
+        gridMin = std::min(gridMin, dist);
+      }
+    }
+    ASSERT_TRUE(std::isfinite(gridMin));
+    EXPECT_NEAR(r.radius, gridMin, tol);
+    // The engine's boundary point must itself be feasible.
+    ASSERT_EQ(r.boundaryPoint.size(), 2u);
+    EXPECT_LE(r.boundaryPoint[0], 1.0 + 1e-6);
+    EXPECT_GE(r.boundaryPoint[0] + r.boundaryPoint[1], -2.5 - 1e-6);
+  }
+}
+
+TEST(Constrained, MultiSubspaceUnconstrainedUsesSummedDuals) {
+  // Two one-dimensional blocks: the combined displacement ball is the
+  // product of per-block balls, so f = 3 s + 1 d <= 4 from (0, 0) first
+  // violates at r = gap / (3 + 1) = 1 with both blocks at distance 1.
+  ProblemSpec spec;
+  spec.features.push_back(PerformanceFeature{
+      "f", ImpactFunction::affine(num::Vec{3.0, 1.0}, 0.0),
+      ToleranceBounds::atMost(4.0)});
+  spec.subspaces.push_back(l2Subspace("s", num::Vec{0.0}));
+  spec.subspaces.push_back(l2Subspace("d", num::Vec{0.0}));
+  const CompiledProblem p = CompiledProblem::compile(std::move(spec));
+  const RadiusReport r = p.radiusOf(0);
+  EXPECT_EQ(r.method, "analytic-multi");
+  EXPECT_NEAR(r.radius, 1.0, 1e-12);
+  ASSERT_EQ(r.boundaryPoint.size(), 2u);
+  EXPECT_NEAR(r.boundaryPoint[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.boundaryPoint[1], 1.0, 1e-9);
+}
+
+TEST(Constrained, MultiSubspaceRadiusMatchesGridBruteForce) {
+  // Blocks: s = (x0, x1) with L2 norm, d = (x2) with L2 norm. Feature
+  // f = x0 + 2 x1 + x2 <= 3 from origin (1, 0, 0); hard constraint
+  // x0 + x1 <= 1.8 on the s block. Reference: grid over the 3 coordinates,
+  // displacement size max(||(dx0, dx1)||_2, |dx2|).
+  const num::Vec sOrigin{1.0, 0.0};
+  ProblemSpec spec;
+  spec.features.push_back(PerformanceFeature{
+      "f", ImpactFunction::affine(num::Vec{1.0, 2.0, 1.0}, 0.0),
+      ToleranceBounds::atMost(3.0)});
+  spec.subspaces.push_back(l2Subspace("s", sOrigin));
+  spec.subspaces.push_back(l2Subspace("d", num::Vec{0.0}));
+  spec.constraints.push_back(
+      LinearConstraint{"cap", num::Vec{1.0, 1.0, 0.0}, 1.8});
+  const CompiledProblem p = CompiledProblem::compile(std::move(spec));
+
+  const RadiusReport r = p.radiusOf(0);
+  EXPECT_EQ(r.method, "pocs-bisect");
+
+  const double h = 0.02;
+  const double tol = 2.0 * h * std::sqrt(3.0);
+  double gridMin = std::numeric_limits<double>::infinity();
+  for (double x0 = -2.0; x0 <= 4.0; x0 += h) {
+    for (double x1 = -3.0; x1 <= 3.0; x1 += h) {
+      if (x0 + x1 > 1.8) {
+        continue;
+      }
+      for (double x2 = -3.0; x2 <= 3.0; x2 += h) {
+        if (x0 + 2.0 * x1 + x2 <= 3.0) {
+          continue;  // not a violation
+        }
+        const double sDist =
+            std::hypot(x0 - sOrigin[0], x1 - sOrigin[1]);
+        const double size = std::max(sDist, std::fabs(x2));
+        gridMin = std::min(gridMin, size);
+      }
+    }
+  }
+  ASSERT_TRUE(std::isfinite(gridMin));
+  EXPECT_NEAR(r.radius, gridMin, tol);
+}
+
+TEST(Constrained, InfeasibleOriginIsFirstClass) {
+  obs::setEnabled(true);
+  obs::resetMetrics();
+  ProblemSpec spec;
+  spec.features.push_back(PerformanceFeature{
+      "f", ImpactFunction::affine(num::Vec{1.0}, 0.0),
+      ToleranceBounds::atMost(10.0)});
+  spec.subspaces.push_back(l2Subspace("pi", num::Vec{2.0}));
+  spec.constraints.push_back(
+      LinearConstraint{"cap", num::Vec{1.0}, 1.0});  // origin 2 > 1
+  const CompiledProblem p = CompiledProblem::compile(std::move(spec));
+
+  const RobustnessReport report = p.evaluate();
+  EXPECT_TRUE(report.infeasibleOrigin);
+  EXPECT_EQ(report.metric, 0.0);
+  ASSERT_EQ(report.radii.size(), 1u);
+  EXPECT_EQ(report.radii[0].radius, 0.0);
+  EXPECT_EQ(report.radii[0].method, "infeasible-origin");
+  EXPECT_EQ(p.radiusOf(0).method, "infeasible-origin");
+
+  const obs::MetricsSnapshot snap = obs::snapshotMetrics();
+  EXPECT_GE(snap.counter("core.feasibility.infeasible_origin"), 2u);
+  obs::setEnabled(false);
+}
+
+TEST(Constrained, FeasibleOriginReportClearsTheFlag) {
+  ProblemSpec spec;
+  spec.features.push_back(PerformanceFeature{
+      "f", ImpactFunction::affine(num::Vec{1.0}, 0.0),
+      ToleranceBounds::atMost(10.0)});
+  spec.subspaces.push_back(l2Subspace("pi", num::Vec{0.5}));
+  spec.constraints.push_back(LinearConstraint{"cap", num::Vec{1.0}, 1.0});
+  const RobustnessReport report =
+      CompiledProblem::compile(std::move(spec)).evaluate();
+  EXPECT_FALSE(report.infeasibleOrigin);
+  EXPECT_GT(report.metric, 0.0);
+}
+
+TEST(Constrained, ClippedCounterOnAndSilentWhenOff) {
+  auto makeClippedSpec = [] {
+    ProblemSpec spec;
+    spec.features.push_back(PerformanceFeature{
+        "f", ImpactFunction::affine(num::Vec{1.0, 1.0}, 0.0),
+        ToleranceBounds::atMost(2.0)});
+    spec.subspaces.push_back(l2Subspace("pi", num::Vec{0.0, 0.0}));
+    spec.constraints.push_back(
+        LinearConstraint{"cap", num::Vec{0.0, 1.0}, 0.5});
+    return spec;
+  };
+
+  obs::setEnabled(false);
+  obs::resetMetrics();
+  (void)CompiledProblem::compile(makeClippedSpec()).evaluate();
+  EXPECT_EQ(obs::snapshotMetrics().counter("core.feasibility.clipped"), 0u);
+
+  obs::setEnabled(true);
+  obs::resetMetrics();
+  (void)CompiledProblem::compile(makeClippedSpec()).evaluate();
+  EXPECT_GE(obs::snapshotMetrics().counter("core.feasibility.clipped"), 1u);
+  obs::setEnabled(false);
+}
+
+TEST(Constrained, BatchMetricFallsBackToFullLaneOnConstrainedSpecs) {
+  // Constrained problems leave the kernel metric lane; the batch API must
+  // still agree exactly with per-instance evaluate().
+  ProblemSpec spec;
+  spec.features.push_back(PerformanceFeature{
+      "f", ImpactFunction::affine(num::Vec{1.0, 1.0}, 0.0),
+      ToleranceBounds::atMost(2.0)});
+  spec.features.push_back(PerformanceFeature{
+      "g", ImpactFunction::affine(num::Vec{1.0, -1.0}, 0.0),
+      ToleranceBounds::atLeast(-2.0)});
+  spec.subspaces.push_back(l2Subspace("pi", num::Vec{0.0, 0.0}));
+  spec.constraints.push_back(
+      LinearConstraint{"cap", num::Vec{0.0, 1.0}, 0.5});
+  const CompiledProblem p = CompiledProblem::compile(std::move(spec));
+
+  const std::vector<double> origins{0.0, 0.0, 0.3, -0.2, -0.5, 0.4};
+  std::vector<AnalysisInstance> instances(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    instances[i].origin =
+        std::span<const double>(origins).subspan(i * 2, 2);
+  }
+  const auto metrics = p.analyzeBatchMetric(instances, 2);
+  ASSERT_EQ(metrics.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const RobustnessReport full = p.evaluate(instances[i]);
+    EXPECT_EQ(metrics[i].metric, full.metric) << i;
+    EXPECT_EQ(metrics[i].bindingFeature, full.bindingFeature) << i;
+  }
+}
+
+}  // namespace

@@ -408,6 +408,36 @@ TEST(IoFuzz, MutatedInstanceFileThroughMmapReaderNeverCrashes) {
   std::filesystem::remove(path, ec);
 }
 
+TEST(IoFuzz, TrailingGarbageAfterThePayloadRejectsWithStructureCategory) {
+  const std::string valid = validInstanceImage(5, 9);
+  Pcg32 rng = makeStream(kMasterSeed, 0xb19);
+  // Any nonzero number of appended bytes — a single NUL, a partial
+  // instance, whole garbage instances — must be rejected as a Structure
+  // violation naming the trailing byte count, through both entry points.
+  // (A file that gained exactly k*dim*8 bytes of garbage would instead be
+  // a header/payload mismatch caught the same way: the declared instance
+  // count no longer matches the file size.)
+  for (const std::size_t extra : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{8}, std::size_t{39},
+                                  std::size_t{41}, std::size_t{256}}) {
+    std::string grown = valid;
+    for (std::size_t i = 0; i < extra; ++i) {
+      grown.push_back(static_cast<char>(rng.nextBounded(256)));
+    }
+    const util::Diagnostics diag("trailing.rbi");
+    try {
+      (void)core::loadInstanceData(grown, diag);
+      ADD_FAILURE() << extra << " trailing bytes unexpectedly loaded";
+    } catch (const util::ParseError& err) {
+      EXPECT_EQ(err.diagnostic().category, util::RejectCategory::Structure)
+          << "extra " << extra;
+      EXPECT_NE(err.diagnostic().message.find("trailing bytes"),
+                std::string::npos)
+          << "extra " << extra << ": " << err.diagnostic().message;
+    }
+  }
+}
+
 TEST(IoFuzz, EveryInstanceFilePrefixRejectsCleanly) {
   const std::string valid = validInstanceImage(5, 9);
   // The header declares the exact payload size, so EVERY strict prefix is

@@ -1,0 +1,131 @@
+// Subprocess tests for the bench/report_check CLI: the exit-code contract
+// CI branches on. Missing baseline artifacts (exit 3) and corrupt baseline
+// artifacts (exit 4) are different operational failures — one means re-run
+// the baseline job, the other means the stored artifact must be
+// regenerated — so each gets its own code and message, pinned here.
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kValidReport = R"({
+  "schema": "robust.run_report",
+  "schema_version": 1,
+  "tool": "test",
+  "info": {},
+  "benchmarks": [{"name": "bench_a", "value": 100.0, "unit": "ns"}],
+  "metrics": {"counters": {}, "gauges": {}, "histograms": {}}
+})";
+
+/// Scratch directory removed on destruction; files are written into it.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_(fs::temp_directory_path() /
+              ("robust_report_check_" + tag + "_" +
+               std::to_string(::getpid()))) {
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] std::string file(const std::string& name,
+                                 const std::string& contents) const {
+    const fs::path p = path_ / name;
+    std::ofstream(p, std::ios::binary) << contents;
+    return p.string();
+  }
+  [[nodiscard]] std::string missing(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  fs::path path_;
+};
+
+struct RunResult {
+  int exitCode = -1;
+  std::string output;  ///< stdout + stderr, interleaved
+};
+
+/// Runs the report_check binary with `args`, capturing exit code and output.
+RunResult runTool(const TempDir& dir, const std::string& args) {
+  const std::string capture = dir.missing("capture.txt");
+  const std::string cmd = std::string(ROBUST_REPORT_CHECK_BIN) + " " + args +
+                          " > " + capture + " 2>&1";
+  const int status = std::system(cmd.c_str());
+  RunResult result;
+  result.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::ifstream in(capture, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  result.output = buffer.str();
+  return result;
+}
+
+TEST(ReportCheck, ValidReportAgainstItselfPasses) {
+  TempDir dir("ok");
+  const std::string report = dir.file("report.json", kValidReport);
+  const std::string baseline = dir.file("baseline.json", kValidReport);
+  const RunResult r =
+      runTool(dir, report + " --baseline " + baseline);
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("OK"), std::string::npos) << r.output;
+}
+
+TEST(ReportCheck, MissingBaselineExitsThreeWithItsOwnMessage) {
+  TempDir dir("missing");
+  const std::string report = dir.file("report.json", kValidReport);
+  const RunResult r = runTool(
+      dir, report + " --baseline " + dir.missing("never_written.json"));
+  EXPECT_EQ(r.exitCode, 3) << r.output;
+  EXPECT_NE(r.output.find("does not exist"), std::string::npos) << r.output;
+  // The missing-artifact diagnostic must not be phrased as a corruption.
+  EXPECT_EQ(r.output.find("malformed"), std::string::npos) << r.output;
+}
+
+TEST(ReportCheck, MalformedBaselineJsonExitsFour) {
+  TempDir dir("badjson");
+  const std::string report = dir.file("report.json", kValidReport);
+  const std::string baseline =
+      dir.file("baseline.json", "{ this is not json");
+  const RunResult r = runTool(dir, report + " --baseline " + baseline);
+  EXPECT_EQ(r.exitCode, 4) << r.output;
+  EXPECT_NE(r.output.find("not valid JSON"), std::string::npos) << r.output;
+}
+
+TEST(ReportCheck, BaselineWithoutBenchmarkRowsExitsFour) {
+  TempDir dir("hollow");
+  const std::string report = dir.file("report.json", kValidReport);
+  // Valid JSON, but nothing a regression gate could compare against.
+  const std::string baseline =
+      dir.file("baseline.json", R"({"benchmarks": []})");
+  const RunResult r = runTool(dir, report + " --baseline " + baseline);
+  EXPECT_EQ(r.exitCode, 4) << r.output;
+  EXPECT_NE(r.output.find("no well-formed benchmark rows"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(ReportCheck, GenuineRegressionStillExitsOne) {
+  TempDir dir("regress");
+  const std::string report = dir.file("report.json", kValidReport);
+  const std::string baseline = dir.file(
+      "baseline.json",
+      R"({"benchmarks": [{"name": "bench_a", "value": 10.0, "unit": "ns"}]})");
+  const RunResult r = runTool(dir, report + " --baseline " + baseline);
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find("regressed"), std::string::npos) << r.output;
+}
+
+}  // namespace

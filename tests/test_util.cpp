@@ -9,9 +9,17 @@
 #include <sstream>
 #include <vector>
 
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <unistd.h>
+
 #include "robust/util/args.hpp"
 #include "robust/util/diagnostics.hpp"
 #include "robust/util/error.hpp"
+#include "robust/util/mmap_file.hpp"
 #include "robust/util/rng.hpp"
 #include "robust/util/stats.hpp"
 #include "robust/util/table.hpp"
@@ -485,6 +493,123 @@ TEST(Diagnostics, CountsAccumulateAcrossCategories) {
   EXPECT_EQ(diag.counts()[util::RejectCategory::Structure], 1u);
   EXPECT_EQ(diag.counts()[util::RejectCategory::Truncated], 1u);
   EXPECT_EQ(diag.counts().total(), 4u);
+}
+
+// ---------------------------------------------------------------- MmapFile
+
+/// A writable temp path, removed when the guard dies.
+class MmapTempFile {
+ public:
+  explicit MmapTempFile(const std::string& tag, const std::string& bytes) {
+    static int counter = 0;
+    path_ = (std::filesystem::temp_directory_path() /
+             ("robust_util_mmap_" + tag + "_" + std::to_string(::getpid()) +
+              "_" + std::to_string(counter++)))
+                .string();
+    std::ofstream out(path_, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  ~MmapTempFile() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Runs `body` once on the mmap lane and once on the pread fallback lane;
+/// both must hand back identical bytes.
+template <typename Body>
+void onBothLanes(const Body& body) {
+  util::MmapFile::setForceFallback(false);
+  body("mmap");
+  util::MmapFile::setForceFallback(true);
+  body("pread");
+  util::MmapFile::setForceFallback(false);
+}
+
+TEST(MmapFile, ZeroLengthFile) {
+  MmapTempFile file("empty", "");
+  onBothLanes([&](const char* lane) {
+    SCOPED_TRACE(lane);
+    util::MmapFile f(file.path());
+    EXPECT_TRUE(f.isOpen());
+    EXPECT_EQ(f.size(), 0u);
+    util::MmapFile::View view;
+    f.view(0, 0, view);  // empty window of an empty file is legal
+    EXPECT_EQ(view.size(), 0u);
+    EXPECT_THROW(f.view(0, 1, view), InvalidArgumentError);
+  });
+}
+
+TEST(MmapFile, PageBoundaryWindows) {
+  const long pageLong = ::sysconf(_SC_PAGESIZE);
+  ASSERT_GT(pageLong, 0);
+  const std::size_t page = static_cast<std::size_t>(pageLong);
+  // Two pages plus a ragged tail so windows can straddle every boundary.
+  std::string bytes(2 * page + 37, '\0');
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<char>((i * 131 + 17) & 0xff);
+  }
+  MmapTempFile file("pages", bytes);
+  onBothLanes([&](const char* lane) {
+    SCOPED_TRACE(lane);
+    util::MmapFile f(file.path());
+    ASSERT_EQ(f.size(), bytes.size());
+    util::MmapFile::View view;
+    const struct {
+      std::size_t offset;
+      std::size_t length;
+    } windows[] = {
+        {0, page},                // exactly the first page
+        {page, page},             // page-aligned interior page
+        {page - 1, 2},            // straddles the first boundary
+        {2 * page, 37},           // the ragged tail
+        {page / 2, page},         // unaligned straddle
+        {bytes.size() - 1, 1},    // last byte
+        {0, bytes.size()},        // whole file
+    };
+    for (const auto& w : windows) {
+      f.view(w.offset, w.length, view);
+      ASSERT_EQ(view.size(), w.length);
+      EXPECT_EQ(std::memcmp(view.data(), bytes.data() + w.offset, w.length),
+                0)
+          << "window at " << w.offset << "+" << w.length;
+    }
+    // One past the end must be rejected, exactly at the end is fine.
+    EXPECT_THROW(f.view(bytes.size(), 1, view), InvalidArgumentError);
+    f.view(bytes.size(), 0, view);
+    EXPECT_EQ(view.size(), 0u);
+  });
+}
+
+TEST(MmapFile, ViewReuseAcrossLanesKeepsBytesIdentical) {
+  std::string bytes(4096 * 3, '\0');
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<char>((i * 7 + 3) & 0xff);
+  }
+  MmapTempFile file("reuse", bytes);
+  util::MmapFile f(file.path());
+  util::MmapFile::View view;  // reused across lane switches and windows
+  for (const bool fallback : {false, true, false}) {
+    util::MmapFile::setForceFallback(fallback);
+    for (std::size_t offset = 0; offset + 512 <= bytes.size();
+         offset += 1536) {
+      f.view(offset, 512, view);
+      ASSERT_EQ(view.size(), 512u);
+      EXPECT_EQ(std::memcmp(view.data(), bytes.data() + offset, 512), 0)
+          << (fallback ? "pread" : "mmap") << " at " << offset;
+    }
+  }
+  util::MmapFile::setForceFallback(false);
+}
+
+TEST(MmapFile, MissingFileThrows) {
+  EXPECT_THROW(
+      util::MmapFile("/nonexistent/robust_util_mmap_missing"),
+      std::runtime_error);
 }
 
 TEST(Diagnostics, CategoryNamesAreStableCounterKeys) {
