@@ -1,8 +1,9 @@
 // A minimal JSON reader for validating the artifacts this library writes:
 // run reports (obs::writeRunReport) and Chrome trace-event files. It exists
 // so tests and the report_check tool can verify schemas without an external
-// dependency — it is not a general-purpose JSON library (no \uXXXX escape
-// decoding beyond ASCII, numbers parsed as double).
+// dependency — it is not a general-purpose JSON library (\uXXXX escapes are
+// decoded for the Basic Multilingual Plane only — no surrogate pairs, which
+// our writers never emit — and numbers are parsed as double).
 #pragma once
 
 #include <string>

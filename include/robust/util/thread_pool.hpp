@@ -9,6 +9,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -18,6 +19,11 @@ namespace robust {
 
 /// Fixed-size worker pool. Tasks are arbitrary void() callables; submission
 /// is thread-safe; destruction joins all workers after draining the queue.
+///
+/// Exception safety: a throwing task never takes the pool (or the process)
+/// down. The first exception a task escapes with is captured and rethrown
+/// from the next wait(); later submissions still run normally, so a
+/// long-lived service can keep using the pool after a poisoned task.
 class ThreadPool {
  public:
   /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
@@ -26,13 +32,17 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Signals shutdown and joins every worker; queued tasks still run.
+  /// Signals shutdown and joins every worker; queued tasks still run. A
+  /// captured task exception that was never collected by wait() is
+  /// discarded (destructors cannot throw).
   ~ThreadPool();
 
   /// Enqueues one task for asynchronous execution.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
+  /// Blocks until every submitted task has finished executing, then
+  /// rethrows the first exception any task escaped with since the last
+  /// wait() (clearing it, so the pool remains usable).
   void wait();
 
   /// Number of worker threads.
@@ -48,16 +58,24 @@ class ThreadPool {
   std::condition_variable cvDone_;
   std::size_t inFlight_ = 0;
   bool stop_ = false;
+  std::exception_ptr failure_;  ///< first uncollected task exception
 };
 
+/// Parses a ROBUST_THREADS-style override: the thread count when `text` is
+/// a plain decimal integer in [1, 1024], otherwise 0 ("ignore"). Hostile
+/// values (negative, huge, trailing garbage, floats, empty, null) all map
+/// to 0 so a bad environment can never oversubscribe or wedge the pool.
+[[nodiscard]] std::size_t parseThreadCount(const char* text) noexcept;
+
 /// Worker count used wherever callers pass `threads = 0`: the
-/// ROBUST_THREADS environment variable when set to a positive integer,
+/// ROBUST_THREADS environment variable when parseThreadCount accepts it,
 /// otherwise hardware concurrency (minimum 1). Read once and cached.
 [[nodiscard]] std::size_t defaultThreadCount() noexcept;
 
 /// Runs body(i) for i in [begin, end) across the pool in contiguous blocks
 /// and blocks until completion. With a single hardware thread this degrades
-/// gracefully to a serial loop (no pool spun up).
+/// gracefully to a serial loop (no pool spun up). If body throws, the first
+/// exception is rethrown here after every block has finished.
 void parallelFor(std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& body,
                  std::size_t threads = 0);

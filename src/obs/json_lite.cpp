@@ -200,16 +200,35 @@ class Parser {
           if (pos_ + 4 > text_.size()) {
             fail("truncated \\u escape");
           }
-          const std::string hex(text_.substr(pos_, 4));
-          char* end = nullptr;
-          const long code = std::strtol(hex.c_str(), &end, 16);
-          if (end != hex.c_str() + 4) {
-            fail("invalid \\u escape");
+          // strtol would accept signs and leading whitespace; require four
+          // literal hex digits so "\u-12f" is rejected, not mangled.
+          unsigned code = 0;
+          for (std::size_t i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + i];
+            if (std::isxdigit(static_cast<unsigned char>(h)) == 0) {
+              fail("invalid \\u escape");
+            }
+            const unsigned digit =
+                h <= '9' ? static_cast<unsigned>(h - '0')
+                         : static_cast<unsigned>((h | 0x20) - 'a') + 10;
+            code = code * 16 + digit;
           }
-          if (code > 0x7f) {
-            fail("non-ASCII \\u escapes are not supported by this reader");
+          if (code >= 0xd800 && code <= 0xdfff) {
+            // Surrogate halves never appear in this library's writers
+            // (they escape only control bytes); pairs are out of scope.
+            fail("surrogate \\u escapes are not supported by this reader");
           }
-          out += static_cast<char>(code);
+          // UTF-8 encode the BMP code point.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
           pos_ += 4;
           break;
         }

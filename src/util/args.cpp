@@ -6,6 +6,20 @@
 
 namespace robust {
 
+namespace {
+
+/// True when the whole token parses as a number ("-5", "1e-3", "42").
+bool isNumberToken(const std::string& token) {
+  if (token.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  (void)std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+}  // namespace
+
 ArgParser::ArgParser(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string token = argv[i];
@@ -13,6 +27,16 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
                    "ArgParser: expected --option, got '" + token + "'");
     std::string key = token.substr(2);
     ROBUST_REQUIRE(!key.empty(), "ArgParser: empty option name");
+    // "--5" is almost always a mistyped negative value; a loud error beats
+    // silently registering a flag named "5".
+    ROBUST_REQUIRE(!isNumberToken(key),
+                   "ArgParser: '" + token +
+                       "' looks like a numeric value, not an option; "
+                       "negative values follow their option, e.g. "
+                       "'--offset -5'");
+    // The next token is this option's value unless it is itself an option.
+    // A single leading '-' does NOT make it an option: negative numbers
+    // ("-5", "-1e-3") are deliberately accepted as values.
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       values_[key] = argv[++i];
     } else {
@@ -32,10 +56,14 @@ double ArgParser::getDouble(const std::string& key, double fallback) const {
   if (it == values_.end()) {
     return fallback;
   }
+  ROBUST_REQUIRE(!it->second.empty(),
+                 "ArgParser: option --" + key +
+                     " expects a numeric value but was given as a bare flag");
   char* end = nullptr;
   const double v = std::strtod(it->second.c_str(), &end);
   ROBUST_REQUIRE(end != it->second.c_str() && *end == '\0',
-                 "ArgParser: option --" + key + " is not a number");
+                 "ArgParser: option --" + key + " value '" + it->second +
+                     "' is not a number");
   return v;
 }
 
@@ -45,10 +73,14 @@ std::int64_t ArgParser::getInt(const std::string& key,
   if (it == values_.end()) {
     return fallback;
   }
+  ROBUST_REQUIRE(!it->second.empty(),
+                 "ArgParser: option --" + key +
+                     " expects an integer value but was given as a bare flag");
   char* end = nullptr;
   const long long v = std::strtoll(it->second.c_str(), &end, 10);
   ROBUST_REQUIRE(end != it->second.c_str() && *end == '\0',
-                 "ArgParser: option --" + key + " is not an integer");
+                 "ArgParser: option --" + key + " value '" + it->second +
+                     "' is not an integer");
   return v;
 }
 

@@ -321,6 +321,45 @@ TEST_F(ObsReport, MetricsSectionCanBeOmitted) {
   EXPECT_EQ(doc.find("metrics"), nullptr);
 }
 
+TEST_F(ObsReport, ControlCharactersRoundTripThroughWriterAndReader) {
+  // Every byte 0x00..0x1F lands in an info value; the writer escapes the
+  // non-shorthand ones as \u00XX, which the reader must decode (a report
+  // whose strings contain a tab or CR used to be rejected by our own
+  // parser).
+  std::string all;
+  for (int b = 0x00; b <= 0x1f; ++b) {
+    all.push_back(static_cast<char>(b));
+  }
+  obs::RunReport report;
+  report.tool = "test_obs";
+  report.includeMetrics = false;
+  report.info.emplace_back("controls", all);
+  report.info.emplace_back("mixed", std::string("a\tb\rc\x01d"));
+  std::ostringstream out;
+  obs::writeRunReport(out, report);
+
+  const auto doc = obs::json::parse(out.str());
+  ASSERT_TRUE(doc.isObject());
+  const auto* controls = doc.find("info")->find("controls");
+  ASSERT_NE(controls, nullptr);
+  EXPECT_EQ(controls->string, all);
+  EXPECT_EQ(doc.find("info")->find("mixed")->string, "a\tb\rc\x01d");
+}
+
+TEST_F(ObsReport, JsonLiteDecodesBmpEscapesAndRejectsSurrogates) {
+  // BMP escapes decode to UTF-8 across all three encoding widths.
+  EXPECT_EQ(obs::json::parse("\"\\u0041\"").string, "A");
+  EXPECT_EQ(obs::json::parse("\"\\u00e9\"").string, "\xc3\xa9");      // é
+  EXPECT_EQ(obs::json::parse("\"\\u20ac\"").string, "\xe2\x82\xac");  // €
+  EXPECT_EQ(obs::json::parse("\"\\uFFFD\"").string, "\xef\xbf\xbd");
+  // Surrogate halves and malformed hex are loud errors, not mojibake.
+  EXPECT_THROW((void)obs::json::parse("\"\\ud800\""), std::runtime_error);
+  EXPECT_THROW((void)obs::json::parse("\"\\udfff\""), std::runtime_error);
+  EXPECT_THROW((void)obs::json::parse("\"\\u-12f\""), std::runtime_error);
+  EXPECT_THROW((void)obs::json::parse("\"\\u12\""), std::runtime_error);
+  EXPECT_THROW((void)obs::json::parse("\"\\u12g4\""), std::runtime_error);
+}
+
 // ----------------------------------------------------- metric-lane metrics
 
 /// A compiled problem whose first feature binds tightly and whose remaining

@@ -1,0 +1,417 @@
+// In-process soak of the robustd daemon: N concurrent tenants stream
+// batches whose answers must be bit-identical to the offline lane while
+// saboteur connections inject malformed frames and abrupt disconnects.
+// Afterwards the session ledger must balance exactly — zero leaked
+// sessions — and no fair tenant may have seen a single wrong bit.
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "robust/core/compiled.hpp"
+#include "robust/net/client.hpp"
+#include "robust/net/server.hpp"
+#include "robust/net/wire.hpp"
+#include "robust/util/rng.hpp"
+
+namespace {
+
+using robust::core::AnalysisInstance;
+using robust::core::CompiledProblem;
+using robust::core::ImpactFunction;
+using robust::core::LinearConstraint;
+using robust::core::MetricResult;
+using robust::core::PerformanceFeature;
+using robust::core::ProblemSpec;
+using robust::core::ToleranceBounds;
+using robust::net::Client;
+using robust::net::FrameHeader;
+using robust::net::FrameType;
+using robust::net::Server;
+using robust::net::ServerOptions;
+using robust::net::ServerStats;
+using robust::net::WireResult;
+
+constexpr std::size_t kDim = 12;
+constexpr std::size_t kFeatures = 5;
+
+/// Deterministic spec family shared with a locally compiled oracle. Odd
+/// families carry a hard constraint so infeasible-origin classification
+/// is part of the soak.
+ProblemSpec makeSpec(std::uint64_t family) {
+  auto rng = robust::makeStream(2026, 500 + family);
+  ProblemSpec spec;
+  spec.parameter.name = "pi";
+  spec.parameter.origin.resize(kDim);
+  for (double& v : spec.parameter.origin) {
+    v = rng.uniform(1.0, 3.0);
+  }
+  for (std::size_t f = 0; f < kFeatures; ++f) {
+    robust::num::Vec weights(kDim);
+    for (double& w : weights) {
+      w = rng.uniform(0.2, 1.5);
+    }
+    const double constant = rng.uniform(-0.5, 0.5);
+    double phi = constant;
+    for (std::size_t j = 0; j < kDim; ++j) {
+      phi += weights[j] * spec.parameter.origin[j];
+    }
+    const double slack = rng.uniform(1.0, 4.0);
+    spec.features.push_back(PerformanceFeature{
+        "phi_" + std::to_string(f),
+        ImpactFunction::affine(std::move(weights), constant),
+        ToleranceBounds::between(phi - slack, phi + slack)});
+  }
+  if (family % 2 == 1) {
+    LinearConstraint budget;
+    budget.name = "budget";
+    budget.coeffs.assign(kDim, 1.0);
+    double load = 0.0;
+    for (double v : spec.parameter.origin) {
+      load += v;
+    }
+    budget.bound = 1.02 * load;
+    spec.constraints.push_back(std::move(budget));
+  }
+  return spec;
+}
+
+std::vector<double> makeBatch(const ProblemSpec& spec, std::uint64_t tenant,
+                              std::size_t batch, std::size_t instances) {
+  auto rng = robust::makeStream(2026, tenant * 1000 + batch);
+  std::vector<double> origins(instances * kDim);
+  for (std::size_t i = 0; i < instances; ++i) {
+    for (std::size_t j = 0; j < kDim; ++j) {
+      origins[i * kDim + j] =
+          spec.parameter.origin[j] + rng.uniform(-0.4, 0.4);
+    }
+  }
+  return origins;
+}
+
+std::vector<WireResult> offline(const CompiledProblem& problem,
+                                const std::vector<double>& origins,
+                                std::size_t instances) {
+  std::vector<AnalysisInstance> batch(instances);
+  for (std::size_t i = 0; i < instances; ++i) {
+    batch[i].origin =
+        std::span<const double>(origins.data() + i * kDim, kDim);
+  }
+  const std::vector<MetricResult> metrics =
+      problem.analyzeBatchMetric(batch, /*threads=*/1);
+  std::vector<WireResult> expect(instances);
+  const bool constrained = !problem.constraints().empty();
+  for (std::size_t i = 0; i < instances; ++i) {
+    expect[i].rho = metrics[i].metric;
+    expect[i].bindingFeature =
+        static_cast<std::uint32_t>(metrics[i].bindingFeature);
+    expect[i].floored = metrics[i].floored;
+    expect[i].infeasibleOrigin =
+        constrained && !problem.originFeasible(batch[i].origin);
+  }
+  return expect;
+}
+
+std::uint64_t bitCompare(const std::vector<WireResult>& got,
+                         const std::vector<WireResult>& expect) {
+  EXPECT_EQ(got.size(), expect.size());
+  std::uint64_t mismatches = 0;
+  for (std::size_t i = 0; i < got.size() && i < expect.size(); ++i) {
+    const bool same =
+        std::memcmp(&got[i].rho, &expect[i].rho, sizeof(double)) == 0 &&
+        got[i].bindingFeature == expect[i].bindingFeature &&
+        got[i].floored == expect[i].floored &&
+        got[i].infeasibleOrigin == expect[i].infeasibleOrigin;
+    if (!same) {
+      ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+/// One fair tenant: register, stream, verify, BYE.
+std::uint64_t runTenant(std::uint16_t port, std::uint64_t tenant,
+                        std::size_t batches, std::size_t instances) {
+  const std::uint64_t family = tenant % 3;
+  const ProblemSpec spec = makeSpec(family);
+  const CompiledProblem oracle = CompiledProblem::compile(makeSpec(family));
+
+  Client client;
+  client.connectTcp(port);
+  client.hello("tenant" + std::to_string(tenant),
+               static_cast<std::uint32_t>(instances));
+  const robust::net::RegisterReply reg = client.registerProblem(spec);
+
+  std::uint64_t mismatches = 0;
+  for (std::size_t b = 0; b < batches; ++b) {
+    const std::vector<double> origins =
+        makeBatch(spec, tenant, b, instances);
+    const std::vector<WireResult> got = client.analyze(
+        reg.key, static_cast<std::uint32_t>(instances), origins);
+    mismatches += bitCompare(got, offline(oracle, origins, instances));
+  }
+  client.bye();
+  return mismatches;
+}
+
+ServerStats waitForBalance(Server& server) {
+  // Unclean disconnects are torn down asynchronously by the IO thread;
+  // give it a moment before asserting the ledger.
+  ServerStats stats = server.stats();
+  for (int i = 0; i < 100 && stats.sessionsActive != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stats = server.stats();
+  }
+  return stats;
+}
+
+TEST(RobustdSoak, TenantsStayBitIdenticalUnderChaos) {
+  ServerOptions options;
+  options.tcpPort = 0;
+  options.workers = 2;
+  options.cacheCapacity = 8;
+  Server server(std::move(options));
+  server.start();
+  const std::uint16_t port = server.port();
+
+  constexpr std::size_t kTenants = 5;
+  constexpr std::size_t kBatches = 4;
+  constexpr std::size_t kInstances = 32;
+
+  std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<int> tenantFailures{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        mismatches += runTenant(port, t, kBatches, kInstances);
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << "tenant " << t << ": " << e.what();
+        ++tenantFailures;
+      }
+    });
+  }
+  // Saboteur 1: garbage bytes. Expect a fatal categorized reject.
+  threads.emplace_back([port] {
+    Client chaos;
+    chaos.connectTcp(port);
+    const std::uint8_t garbage[24] = {0xba, 0xad, 0xf0, 0x0d};
+    chaos.sendRaw(garbage);
+    auto [header, payload] = chaos.readFrame();
+    EXPECT_EQ(header.type, FrameType::Reject);
+    const robust::util::Diagnostics diag("chaos");
+    const robust::net::RejectInfo info =
+        robust::net::decodeReject(payload, diag);
+    EXPECT_TRUE(info.fatal);
+    EXPECT_EQ(info.category, robust::util::RejectCategory::Format);
+    chaos.closeNow();
+  });
+  // Saboteur 2: valid HELLO, then vanish mid-frame.
+  threads.emplace_back([port] {
+    Client chaos;
+    chaos.connectTcp(port);
+    chaos.hello("saboteur", 1);
+    std::vector<std::uint8_t> partial;
+    robust::net::encodeFrameHeader(
+        FrameHeader{robust::net::kProtocolVersion, FrameType::Analyze,
+                    1u << 16, 99},
+        partial);
+    partial.resize(partial.size() + 8, 0);
+    chaos.sendRaw(partial);
+    chaos.closeNow();
+  });
+  for (std::thread& th : threads) {
+    th.join();
+  }
+
+  const ServerStats stats = waitForBalance(server);
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(tenantFailures.load(), 0);
+  EXPECT_EQ(stats.sessionsActive, 0u) << "leaked sessions";
+  EXPECT_EQ(stats.sessionsOpened, stats.sessionsClosed);
+  EXPECT_EQ(stats.sessionsOpened, kTenants + 2);
+  EXPECT_EQ(stats.batches, kTenants * kBatches);
+  EXPECT_EQ(stats.instances, kTenants * kBatches * kInstances);
+  // The garbage saboteur drew a Format reject; at least one unclean
+  // disconnect was recorded.
+  EXPECT_GE(stats.rejects[static_cast<std::size_t>(
+                robust::util::RejectCategory::Format)],
+            1u);
+  EXPECT_GE(stats.disconnects, 1u);
+  // 3 spec families across 5 tenants: 3 misses, 2 cross-tenant hits.
+  EXPECT_EQ(stats.cacheMisses, 3u);
+  EXPECT_EQ(stats.cacheHits, 2u);
+  server.stop();
+}
+
+TEST(RobustdSoak, PollBackendAnswersTheSameBits) {
+  ServerOptions options;
+  options.tcpPort = 0;
+  options.workers = 1;
+  options.forcePoll = true;
+  Server server(std::move(options));
+  server.start();
+  EXPECT_EQ(runTenant(server.port(), 1, 2, 16), 0u);
+  const ServerStats stats = waitForBalance(server);
+  EXPECT_EQ(stats.sessionsActive, 0u);
+  server.stop();
+}
+
+TEST(RobustdSoak, EvictedSpecsStayUsableForSessionsThatPinnedThem) {
+  ServerOptions options;
+  options.tcpPort = 0;
+  options.workers = 1;
+  options.cacheCapacity = 1;  // every new spec evicts the previous one
+  Server server(std::move(options));
+  server.start();
+  const std::uint16_t port = server.port();
+
+  const ProblemSpec spec0 = makeSpec(0);
+  const CompiledProblem oracle0 = CompiledProblem::compile(makeSpec(0));
+
+  Client a;
+  a.connectTcp(port);
+  a.hello("pinner", 1);
+  const robust::net::RegisterReply reg0 = a.registerProblem(spec0);
+  EXPECT_FALSE(reg0.fromCache);
+
+  // Another session churns the 1-entry cache past spec0.
+  Client b;
+  b.connectTcp(port);
+  b.hello("churner", 1);
+  (void)b.registerProblem(makeSpec(1));
+  (void)b.registerProblem(makeSpec(2));
+
+  // Session a's key must still answer — the entry is pinned by the
+  // session, eviction only ended cross-tenant sharing.
+  const std::vector<double> origins = makeBatch(spec0, 7, 0, 8);
+  const std::vector<WireResult> got = a.analyze(reg0.key, 8, origins);
+  EXPECT_EQ(bitCompare(got, offline(oracle0, origins, 8)), 0u);
+
+  a.bye();
+  b.bye();
+  const ServerStats stats = waitForBalance(server);
+  EXPECT_EQ(stats.sessionsActive, 0u);
+  EXPECT_GE(stats.cacheEvictions, 1u);
+  server.stop();
+}
+
+TEST(RobustdSoak, BackpressureDefersReadsWithoutCorruptingReplies) {
+  ServerOptions options;
+  options.tcpPort = 0;
+  options.workers = 1;
+  options.maxInflightBytes = 2048;  // a couple of batches trip the bound
+  Server server(std::move(options));
+  server.start();
+
+  const ProblemSpec spec = makeSpec(0);
+  const CompiledProblem oracle = CompiledProblem::compile(makeSpec(0));
+
+  Client client;
+  client.connectTcp(server.port());
+  client.hello("firehose", 4);
+  const robust::net::RegisterReply reg = client.registerProblem(spec);
+
+  // Pipeline many ANALYZE frames without reading a single reply; the
+  // server must defer reads instead of buffering unboundedly, then answer
+  // every request in order with the offline bits.
+  constexpr std::size_t kPipelined = 24;
+  constexpr std::size_t kInstances = 16;
+  std::vector<std::vector<double>> batches;
+  for (std::size_t b = 0; b < kPipelined; ++b) {
+    batches.push_back(makeBatch(spec, 99, b, kInstances));
+    std::vector<std::uint8_t> payload;
+    robust::net::encodeAnalyze(reg.key,
+                               static_cast<std::uint32_t>(kInstances),
+                               batches.back(), payload);
+    const std::vector<std::uint8_t> frame = robust::net::buildFrame(
+        FrameType::Analyze, static_cast<std::uint32_t>(1000 + b), payload);
+    client.sendRaw(frame);
+  }
+  const robust::util::Diagnostics diag("soak");
+  const robust::net::WireLimits limits;
+  for (std::size_t b = 0; b < kPipelined; ++b) {
+    auto [header, payload] = client.readFrame();
+    ASSERT_EQ(header.type, FrameType::Result) << "batch " << b;
+    EXPECT_EQ(header.requestId, 1000 + b) << "replies out of order";
+    const std::vector<WireResult> got =
+        robust::net::decodeResult(payload, limits, diag);
+    EXPECT_EQ(bitCompare(got, offline(oracle, batches[b], kInstances)), 0u)
+        << "batch " << b;
+  }
+  client.bye();
+
+  const ServerStats stats = waitForBalance(server);
+  EXPECT_EQ(stats.sessionsActive, 0u);
+  EXPECT_GE(stats.backpressureStalls, 1u)
+      << "the byte bound never deferred a read";
+  server.stop();
+}
+
+TEST(RobustdSoak, SessionRunReportsAreWrittenOnClose) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "robustd_soak_reports")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  ServerOptions options;
+  options.tcpPort = 0;
+  options.workers = 1;
+  options.reportDir = dir;
+  Server server(std::move(options));
+  server.start();
+  EXPECT_EQ(runTenant(server.port(), 2, 1, 8), 0u);
+  (void)waitForBalance(server);
+  server.stop();
+
+  std::size_t reports = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".json") {
+      ++reports;
+    }
+  }
+  EXPECT_EQ(reports, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RobustdSoak, MalformedPayloadInsideAWellFramedFrameIsNotFatal) {
+  ServerOptions options;
+  options.tcpPort = 0;
+  options.workers = 1;
+  Server server(std::move(options));
+  server.start();
+
+  Client client;
+  client.connectTcp(server.port());
+  client.hello("resilient", 1);
+
+  // ANALYZE against a key that was never registered: non-fatal Structure
+  // reject, and the session keeps working afterwards.
+  std::vector<double> one(kDim, 1.0);
+  try {
+    (void)client.analyze(0xdeadULL, 1, one);
+    FAIL() << "bogus key analyzed";
+  } catch (const robust::net::RejectedError& e) {
+    EXPECT_FALSE(e.info().fatal);
+    EXPECT_EQ(e.info().category, robust::util::RejectCategory::Structure);
+  }
+
+  const ProblemSpec spec = makeSpec(0);
+  const CompiledProblem oracle = CompiledProblem::compile(makeSpec(0));
+  const robust::net::RegisterReply reg = client.registerProblem(spec);
+  const std::vector<double> origins = makeBatch(spec, 3, 0, 8);
+  const std::vector<WireResult> got = client.analyze(reg.key, 8, origins);
+  EXPECT_EQ(bitCompare(got, offline(oracle, origins, 8)), 0u);
+  client.bye();
+
+  const ServerStats stats = waitForBalance(server);
+  EXPECT_EQ(stats.sessionsActive, 0u);
+  server.stop();
+}
+
+}  // namespace

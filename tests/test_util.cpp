@@ -359,6 +359,60 @@ TEST(Args, LaterDuplicateWins) {
   EXPECT_EQ(args.getInt("k", 0), 2);
 }
 
+TEST(Args, NegativeNumbersAreValuesNotOptions) {
+  // A single leading '-' marks a value, not an option: this is documented
+  // behavior, not an accident of the "--" prefix test.
+  const char* argv[] = {"prog", "--offset", "-5", "--rate", "-1.5e-3"};
+  const ArgParser args(5, argv);
+  EXPECT_EQ(args.getInt("offset", 0), -5);
+  EXPECT_DOUBLE_EQ(args.getDouble("rate", 0.0), -1.5e-3);
+}
+
+TEST(Args, DoubleDashNumberIsALoudError) {
+  // "--5" would silently become a flag named "5"; it must throw with a
+  // diagnostic pointing at the negative-value spelling instead.
+  const char* argv[] = {"prog", "--offset", "--5"};
+  try {
+    const ArgParser args(3, argv);
+    FAIL() << "expected InvalidArgumentError";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("--5"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("negative values"),
+              std::string::npos);
+  }
+}
+
+TEST(Args, BareFlagNumericLookupNamesTheMissingValue) {
+  const char* argv[] = {"prog", "--count"};
+  const ArgParser args(2, argv);
+  EXPECT_TRUE(args.has("count"));
+  EXPECT_EQ(args.getString("count", "fallback"), "");
+  for (const auto& fetch : {std::function<void()>(
+                                [&] { (void)args.getInt("count", 0); }),
+                            std::function<void()>(
+                                [&] { (void)args.getDouble("count", 0.0); })}) {
+    try {
+      fetch();
+      FAIL() << "expected InvalidArgumentError";
+    } catch (const InvalidArgumentError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("--count"), std::string::npos);
+      EXPECT_NE(what.find("bare flag"), std::string::npos);
+    }
+  }
+}
+
+TEST(Args, NotANumberDiagnosticEchoesTheValue) {
+  const char* argv[] = {"prog", "--num", "abc"};
+  const ArgParser args(3, argv);
+  try {
+    (void)args.getInt("num", 0);
+    FAIL() << "expected InvalidArgumentError";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("'abc'"), std::string::npos);
+  }
+}
+
 // ---------------------------------------------------------------- pool
 
 TEST(ThreadPool, RunsEveryTask) {
@@ -398,6 +452,119 @@ TEST(ParallelFor, EmptyAndSingle) {
   EXPECT_EQ(calls, 0);
   parallelFor(3, 4, [&](std::size_t i) { EXPECT_EQ(i, 3u); ++calls; }, 1);
   EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, SurvivesAThrowingTask) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::runtime_error("poisoned task"); });
+  try {
+    pool.wait();
+    FAIL() << "wait() must rethrow the task's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "poisoned task");
+  }
+  // The pool is still alive: later submissions run and wait() is clean.
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndInFlightStaysConsistent) {
+  ThreadPool pool(1);  // single worker => deterministic task order
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::logic_error("second"); });
+  pool.submit([&ran] { ran.fetch_add(1); });
+  try {
+    pool.wait();
+    FAIL() << "expected the first exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  // inFlight_ reached zero despite two throwing tasks (no deadlock above),
+  // the non-throwing task still ran, and the second exception was dropped,
+  // so a follow-up wait() returns normally.
+  EXPECT_EQ(ran.load(), 1);
+  pool.wait();
+}
+
+TEST(ThreadPool, DestructionDiscardsAnUncollectedException) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("never collected"); });
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }  // destructor must neither terminate nor throw
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ParallelFor, RethrowsTheBodyExceptionAfterCompletion) {
+  std::atomic<int> visited{0};
+  try {
+    parallelFor(
+        0, 64,
+        [&](std::size_t i) {
+          visited.fetch_add(1);
+          if (i == 13) {
+            throw std::runtime_error("body failed at 13");
+          }
+        },
+        4);
+    FAIL() << "expected the body's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "body failed at 13");
+  }
+  // The throw abandons the rest of its own chunk ([0,16) loses i=14,15)
+  // while every other chunk still runs to completion before the rethrow.
+  EXPECT_EQ(visited.load(), 62);
+}
+
+TEST(ThreadPool, ShutdownDrainsUnstartedTasks) {
+  // One worker pinned on a slow first task guarantees the remaining tasks
+  // are still queued when the destructor runs: they must all execute.
+  std::atomic<int> ran{0};
+  std::atomic<bool> release{false};
+  {
+    ThreadPool pool(1);
+    pool.submit([&release] {
+      while (!release.load()) {
+      }
+    });
+    for (int i = 0; i < 30; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+    release.store(true);
+  }  // destructor joins after draining the queue
+  EXPECT_EQ(ran.load(), 30);
+}
+
+TEST(ThreadPool, ParseThreadCountRejectsHostileValues) {
+  EXPECT_EQ(parseThreadCount("4"), 4u);
+  EXPECT_EQ(parseThreadCount("1"), 1u);
+  EXPECT_EQ(parseThreadCount("1024"), 1024u);
+  // Hostile or malformed: all ignored (0), never oversubscribed.
+  EXPECT_EQ(parseThreadCount(nullptr), 0u);
+  EXPECT_EQ(parseThreadCount(""), 0u);
+  EXPECT_EQ(parseThreadCount("0"), 0u);
+  EXPECT_EQ(parseThreadCount("-3"), 0u);
+  EXPECT_EQ(parseThreadCount("1025"), 0u);
+  EXPECT_EQ(parseThreadCount("99999999999999999999"), 0u);
+  EXPECT_EQ(parseThreadCount("1e9"), 0u);
+  EXPECT_EQ(parseThreadCount("8 "), 0u);
+  EXPECT_EQ(parseThreadCount(" 8"), 0u);
+  EXPECT_EQ(parseThreadCount("abc"), 0u);
+  EXPECT_EQ(parseThreadCount("12abc"), 0u);
+  EXPECT_EQ(parseThreadCount("+4"), 0u);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositiveAndCached) {
+  const std::size_t first = defaultThreadCount();
+  EXPECT_GE(first, 1u);
+  EXPECT_LE(first, 1024u);
+  EXPECT_EQ(defaultThreadCount(), first);
 }
 
 // ---------------------------------------------------------------- timer
