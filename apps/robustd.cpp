@@ -14,10 +14,12 @@
 // checks after driving the daemon with robustd_load.
 #include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 
 #include "robust/net/server.hpp"
+#include "robust/obs/flight.hpp"
 #include "robust/obs/metrics.hpp"
 #include "robust/obs/report.hpp"
 #include "robust/util/args.hpp"
@@ -40,6 +42,10 @@ void printUsage() {
       "  --max-inflight B  per-connection backpressure bound in bytes\n"
       "  --report-dir DIR  write per-session run reports here\n"
       "  --report PATH     write the daemon's own run report on exit\n"
+      "  --flight-dir DIR  dump the flight recorder here on fatal rejects\n"
+      "                    and on a session-ledger imbalance at exit\n"
+      "  --flight N        flight-recorder ring capacity per thread\n"
+      "                    (default 512; 0 disables; ROBUST_FLIGHT env too)\n"
       "  --poll            force the poll(2) backend (no epoll)\n"
       "  --help            this text");
 }
@@ -61,8 +67,16 @@ int main(int argc, char** argv) {
   options.maxInflightBytes =
       static_cast<std::size_t>(args.getInt("max-inflight", 4 << 20));
   options.reportDir = args.getString("report-dir", "");
+  options.flightDir = args.getString("flight-dir", "");
   options.forcePoll = args.has("poll");
   const std::string reportPath = args.getString("report", "");
+  const std::int64_t flightCap = args.getInt(
+      "flight", static_cast<std::int64_t>(robust::obs::flightCapacity()));
+  if (flightCap < 0) {
+    std::fprintf(stderr, "robustd: --flight must be >= 0\n");
+    return 2;
+  }
+  robust::obs::setFlightCapacity(static_cast<std::size_t>(flightCap));
 
   robust::net::Server server(std::move(options));
   try {
@@ -148,6 +162,19 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(stats.sessionsActive),
                  static_cast<unsigned long long>(stats.sessionsOpened),
                  static_cast<unsigned long long>(stats.sessionsClosed));
+    const std::string flightDir = args.getString("flight-dir", "");
+    if (!flightDir.empty()) {
+      const std::string path = flightDir + "/robustd_flight_ledger.json";
+      try {
+        std::filesystem::create_directories(flightDir);
+        robust::obs::writeFlightTrace(path);
+        std::fprintf(stderr, "robustd: flight recorder dumped to %s\n",
+                     path.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "robustd: cannot dump flight recorder: %s\n",
+                     e.what());
+      }
+    }
     return 3;
   }
   return 0;

@@ -38,9 +38,11 @@
 #include <utility>
 #include <vector>
 
+#include "robust/net/wire.hpp"
 #include "robust/obs/json_lite.hpp"
 #include "robust/obs/metrics.hpp"
 #include "robust/obs/report.hpp"
+#include "robust/util/diagnostics.hpp"
 
 namespace {
 
@@ -119,6 +121,125 @@ void checkMetricsSection(Checker& check, const Value& metrics) {
   }
 }
 
+/// Walks a dotted key path ("server.frames", "tenants.alice.latency")
+/// through nested objects. Returns nullptr when any segment is missing.
+const Value* resolvePath(const Value& doc, const std::string& path) {
+  const Value* cur = &doc;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t dot = path.find('.', start);
+    const std::string key =
+        dot == std::string::npos ? path.substr(start)
+                                 : path.substr(start, dot - start);
+    cur = cur->find(key);
+    if (cur == nullptr || dot == std::string::npos) {
+      return cur;
+    }
+    start = dot + 1;
+  }
+}
+
+void expectNumbers(Checker& check, const Value& obj, const std::string& prefix,
+                   std::initializer_list<const char*> keys) {
+  for (const char* key : keys) {
+    check.expect(obj.find(key), Kind::Number, prefix + "." + key);
+  }
+}
+
+void checkLatencyDigest(Checker& check, const Value* digest,
+                        const std::string& prefix) {
+  if (!check.expect(digest, Kind::Object, prefix)) {
+    return;
+  }
+  expectNumbers(check, *digest, prefix,
+                {"count", "sum_nanos", "p50_nanos", "p95_nanos", "p99_nanos"});
+}
+
+/// Validates a robust.stats snapshot (the STATS admin reply, saved by
+/// robustd_stat --json). --require names are dotted key paths into the
+/// document here ("server.frames", "tenants.alice"), not benchmark names.
+void checkStatsDocument(Checker& check, const Value& doc,
+                        const std::vector<std::string>& required) {
+  const Value* version = doc.find("schema_version");
+  if (check.expect(version, Kind::Number, "schema_version") &&
+      version->number != robust::net::kStatsSchemaVersion) {
+    check.fail("schema_version is not " +
+               std::to_string(robust::net::kStatsSchemaVersion));
+  }
+  const Value* tool = doc.find("tool");
+  if (check.expect(tool, Kind::String, "tool") && tool->string.empty()) {
+    check.fail("tool is empty");
+  }
+
+  const Value* server = doc.find("server");
+  if (check.expect(server, Kind::Object, "server")) {
+    expectNumbers(check, *server, "server",
+                  {"sessions_opened", "sessions_closed", "sessions_active",
+                   "frames", "batches", "instances", "registers",
+                   "disconnects", "stats_requests", "trace_dumps",
+                   "pool_workers", "pool_busy", "virtual_time_floor"});
+  }
+  const Value* cache = doc.find("cache");
+  if (check.expect(cache, Kind::Object, "cache")) {
+    expectNumbers(check, *cache, "cache",
+                  {"hits", "misses", "evictions", "entries", "capacity"});
+  }
+  const Value* back = doc.find("backpressure");
+  if (check.expect(back, Kind::Object, "backpressure")) {
+    expectNumbers(check, *back, "backpressure",
+                  {"stalls", "max_inflight_bytes", "backlog_high_water_bytes",
+                   "paused_sessions"});
+  }
+  const Value* rejects = doc.find("rejects");
+  if (check.expect(rejects, Kind::Object, "rejects")) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < robust::util::kRejectCategoryCount; ++c) {
+      const char* name = robust::util::rejectCategoryName(
+          static_cast<robust::util::RejectCategory>(c));
+      const Value* v = rejects->find(name);
+      if (check.expect(v, Kind::Number, std::string("rejects.") + name)) {
+        sum += v->number;
+      }
+    }
+    const Value* total = rejects->find("total");
+    if (check.expect(total, Kind::Number, "rejects.total") &&
+        total->number != sum) {
+      check.fail("rejects.total does not equal the sum of its categories");
+    }
+  }
+  const Value* tenants = doc.find("tenants");
+  if (check.expect(tenants, Kind::Object, "tenants")) {
+    for (const auto& [name, t] : tenants->object) {
+      const std::string prefix = "tenants." + name;
+      if (t.kind != Kind::Object) {
+        check.fail(prefix + " is not an object");
+        continue;
+      }
+      expectNumbers(check, t, prefix,
+                    {"sessions", "frames", "batches", "instances", "registers",
+                     "cache_hits", "cache_misses", "rejects_total",
+                     "virtual_time", "charged_cost"});
+      const Value* latency = t.find("latency");
+      if (check.expect(latency, Kind::Object, prefix + ".latency")) {
+        for (const char* digest : {"analyze", "compile", "queue"}) {
+          checkLatencyDigest(check, latency->find(digest),
+                             prefix + ".latency." + digest);
+        }
+      }
+    }
+  }
+  const Value* flight = doc.find("flight");
+  if (check.expect(flight, Kind::Object, "flight")) {
+    expectNumbers(check, *flight, "flight", {"records", "capacity", "dumps"});
+  }
+
+  for (const std::string& want : required) {
+    if (resolvePath(doc, want) == nullptr) {
+      check.fail("required stats key '" + want + "' is missing");
+    }
+  }
+}
+
 int checkRunReport(const std::string& path,
                    const std::vector<std::string>& required) {
   Checker check(path);
@@ -136,9 +257,17 @@ int checkRunReport(const std::string& path,
 
   const Value* schema = doc.find("schema");
   if (check.expect(schema, Kind::String, "schema") &&
+      schema->string == robust::net::kStatsSchemaName) {
+    // STATS snapshots ride the same positional slot; --require keys become
+    // dotted paths into the document instead of benchmark names.
+    checkStatsDocument(check, doc, required);
+    return check.failures();
+  }
+  if (schema != nullptr && schema->kind == Kind::String &&
       schema->string != robust::obs::kRunReportSchemaName) {
     check.fail("schema is '" + schema->string + "', expected '" +
-               std::string(robust::obs::kRunReportSchemaName) + "'");
+               std::string(robust::obs::kRunReportSchemaName) + "' or '" +
+               std::string(robust::net::kStatsSchemaName) + "'");
   }
   const Value* version = doc.find("schema_version");
   if (check.expect(version, Kind::Number, "schema_version") &&

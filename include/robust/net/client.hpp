@@ -74,6 +74,14 @@ class Client {
                                   std::uint32_t instanceCount,
                                   std::span<const double> origins);
 
+  /// STATS admin request: returns the server's robust.stats JSON snapshot
+  /// (schema kStatsSchemaVersion). Works without a HELLO handshake.
+  std::string stats();
+
+  /// TRACE_DUMP admin request: drains the server's flight recorder and
+  /// returns the Chrome trace-event JSON document. Works without HELLO.
+  std::string traceDump();
+
   /// Graceful shutdown: BYE, wait for BYE_OK, close.
   void bye();
 

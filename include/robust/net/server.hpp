@@ -73,6 +73,10 @@ struct ServerOptions {
   /// When non-empty, a robust.run_report JSON file is written here for
   /// every connection on close ("robustd_session_<id>.json").
   std::string reportDir;
+  /// When non-empty, the flight recorder is dumped here automatically on
+  /// every fatal reject ("robustd_flight_fatal_<n>.json") — the operator's
+  /// look at what every thread was doing just before framing was lost.
+  std::string flightDir;
   /// Force the poll(2) backend even where epoll is available (the
   /// ROBUST_NET_POLL environment variable does the same at runtime).
   bool forcePoll = false;
@@ -92,7 +96,10 @@ struct ServerStats {
   std::uint64_t cacheMisses = 0;
   std::uint64_t cacheEvictions = 0;
   std::uint64_t backpressureStalls = 0;  ///< read-deferral transitions
+  std::uint64_t backlogHighWaterBytes = 0;  ///< largest per-session backlog
   std::uint64_t disconnects = 0;      ///< peers that vanished uncleanly
+  std::uint64_t statsRequests = 0;    ///< STATS admin frames answered
+  std::uint64_t traceDumps = 0;       ///< TRACE_DUMP admin frames answered
   /// Rejected frames by RejectCategory (Format, Domain, Structure,
   /// Truncated, Other).
   std::array<std::uint64_t, util::kRejectCategoryCount> rejects{};

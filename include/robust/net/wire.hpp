@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "robust/core/compiled.hpp"
@@ -52,13 +53,25 @@ enum class FrameType : std::uint8_t {
   Register = 0x02,  ///< ProblemSpec payload -> content-hash key
   Analyze = 0x03,   ///< perturbation batch against a registered key
   Bye = 0x04,       ///< graceful close
+  // client -> server, admin introspection (no HELLO required; answered on
+  // the IO thread without touching the compute pool)
+  Stats = 0x05,      ///< request a robust.stats JSON snapshot
+  TraceDump = 0x06,  ///< drain the flight recorder as Chrome-trace JSON
   // server -> client
   HelloOk = 0x81,
   RegisterOk = 0x82,
   Result = 0x83,
   ByeOk = 0x84,
+  StatsOk = 0x85,      ///< payload: robust.stats JSON text
+  TraceDumpOk = 0x86,  ///< payload: Chrome trace-event JSON text
   Reject = 0xbf,  ///< categorized rejection of the request it echoes
 };
+
+/// Schema identity of the STATS snapshot document. Bumped when the JSON
+/// layout changes incompatibly; clients send the version they speak and
+/// the server rejects (Structure, non-fatal) any other.
+inline constexpr std::uint32_t kStatsSchemaVersion = 1;
+inline constexpr std::string_view kStatsSchemaName = "robust.stats";
 
 /// True for the frame types a client may send.
 [[nodiscard]] bool isClientFrameType(std::uint8_t type) noexcept;
@@ -182,6 +195,17 @@ void encodeResult(std::span<const WireResult> results,
 [[nodiscard]] std::vector<WireResult> decodeResult(
     std::span<const std::uint8_t> payload, const WireLimits& limits,
     const util::Diagnostics& diag);
+
+/// STATS / TRACE_DUMP request payload: u32 schemaVersion (must equal
+/// kStatsSchemaVersion — Structure otherwise); u32 reserved = 0. The
+/// replies carry UTF-8 JSON text as their whole payload: a schema-versioned
+/// robust.stats document for STATS_OK, a Chrome trace-event document (the
+/// drained flight recorder) for TRACE_DUMP_OK. Both replies respect
+/// WireLimits::maxFrameBytes like every other frame.
+void encodeAdminRequest(std::uint32_t schemaVersion,
+                        std::vector<std::uint8_t>& out);
+[[nodiscard]] std::uint32_t decodeAdminRequest(
+    std::span<const std::uint8_t> payload, const util::Diagnostics& diag);
 
 /// REJECT payload: u8 category (util::RejectCategory); u8 fatal; u16
 /// reserved = 0; u32 messageBytes; message. `fatal` means the server is

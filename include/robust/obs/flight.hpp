@@ -1,0 +1,95 @@
+// Always-on bounded flight recorder.
+//
+// The trace subsystem (trace.hpp) answers "what did this run do?" — it is
+// opt-in, unbounded up to a large cap, and meant for whole-run profiles.
+// The flight recorder answers the operator's question "what happened in the
+// seconds BEFORE this fatal reject / session leak?": every thread keeps a
+// small ring of its most recent span/event records, overwritten forever, so
+// the cost of leaving it on is a clock read plus one ring slot per record —
+// no growth, no allocation after warm-up. Records carry the wire-protocol
+// requestId, so a client-observed slow reply is correlated with the
+// compile-cache miss or queue wait that produced it.
+//
+// Rings live in the same per-thread shards as the metrics (registered and
+// retired together); retired threads' rings are preserved (bounded) so a
+// post-mortem dump still shows what exited workers were doing.
+// writeFlightTrace() serializes every ring to the same deterministic Chrome
+// trace-event JSON as writeTrace() — under the test clock the bytes are
+// reproducible — with the requestId attached as an event arg.
+//
+// The ring capacity defaults to kDefaultFlightCapacity records per thread;
+// ROBUST_FLIGHT=<n> overrides it at startup (0 disables recording).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "robust/obs/trace.hpp"
+
+namespace robust::obs {
+
+/// Default per-thread ring capacity, in records.
+inline constexpr std::size_t kDefaultFlightCapacity = 512;
+
+/// Current per-thread ring capacity (records). 0 means recording is off.
+[[nodiscard]] std::size_t flightCapacity() noexcept;
+
+/// Sets the per-thread ring capacity. Existing rings shrink lazily (their
+/// oldest records are overwritten first). 0 disables recording.
+void setFlightCapacity(std::size_t perThreadRecords) noexcept;
+
+[[nodiscard]] inline bool flightEnabled() noexcept {
+  return flightCapacity() > 0;
+}
+
+/// Appends one completed record to the calling thread's ring, overwriting
+/// the oldest when full. `name` must be a string literal (only the pointer
+/// is stored). requestId 0 means "not tied to a wire request".
+void recordFlight(const char* name, std::uint64_t requestId,
+                  std::int64_t startNanos, std::int64_t durationNanos) noexcept;
+
+/// RAII flight span: reads the clock on construction and records on
+/// destruction. Unlike obs::Span this does NOT consult enabled() — the
+/// flight recorder is always on unless its capacity is 0.
+class FlightSpan {
+ public:
+  FlightSpan(const char* name, std::uint64_t requestId) noexcept
+      : name_(name),
+        requestId_(requestId),
+        start_(flightEnabled() ? detail::nowNanos() : kInactive) {}
+  ~FlightSpan() {
+    if (start_ != kInactive) {
+      recordFlight(name_, requestId_, start_, detail::nowNanos() - start_);
+    }
+  }
+
+  FlightSpan(const FlightSpan&) = delete;
+  FlightSpan& operator=(const FlightSpan&) = delete;
+
+ private:
+  static constexpr std::int64_t kInactive = INT64_MIN;
+  const char* name_;
+  std::uint64_t requestId_;
+  std::int64_t start_;
+};
+
+/// Serializes every ring (live shards + retired threads) as Chrome
+/// trace-event JSON: "cat":"flight", requestId in "args". Deterministic
+/// under the test clock: records sort by (start, per-thread sequence),
+/// threads by (first start, registration order) with dense 1-based tids.
+void writeFlightTrace(std::ostream& out);
+
+/// writeFlightTrace to a file; throws std::runtime_error when it cannot be
+/// opened.
+void writeFlightTrace(const std::string& path);
+
+/// Discards every flight record (live rings and retired threads').
+void clearFlight() noexcept;
+
+/// Records currently held across all rings (live + retired). For tests and
+/// the STATS snapshot.
+[[nodiscard]] std::uint64_t flightRecordCount() noexcept;
+
+}  // namespace robust::obs

@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -66,6 +67,30 @@ inline constexpr std::size_t kHistogramBuckets = 28;
 [[nodiscard]] MetricId gaugeId(std::string_view name);
 [[nodiscard]] MetricId histogramId(std::string_view name);
 
+// Labeled series. A labeled metric is an ordinary metric whose registered
+// name is the canonical composition "name{key=value}" — it rides the same
+// per-thread shards and the same retired-totals fold, so snapshot exactness
+// (including threads that have exited) holds for labeled series too.
+// Labels are for LOW-cardinality dimensions (tenant id, frame type): each
+// distinct (name, key, value) consumes one slot of the fixed per-kind
+// capacity. When a new value would not fit, the id of the per-series
+// overflow bucket "name{key=_other_}" is returned instead — hostile
+// cardinality degrades to aggregation, never to a thrown error on the
+// recording path. (The overflow slot is reserved on the first labeled
+// registration of a (name, key) pair; only THAT first call can throw on a
+// full table, which is a static capacity misconfiguration.)
+
+[[nodiscard]] MetricId counterId(std::string_view name, std::string_view labelKey,
+                                 std::string_view labelValue);
+[[nodiscard]] MetricId histogramId(std::string_view name,
+                                   std::string_view labelKey,
+                                   std::string_view labelValue);
+
+/// The canonical registered name of a labeled series: "name{key=value}".
+[[nodiscard]] std::string labeledMetricName(std::string_view name,
+                                            std::string_view labelKey,
+                                            std::string_view labelValue);
+
 // Hot-path recording. Callers guard with enabled(); recording while
 // disabled is harmless but wasted work. All are safe from any thread.
 
@@ -81,6 +106,20 @@ void maxGauge(MetricId id, std::int64_t value) noexcept;
 /// Records one latency observation, in nanoseconds, into a histogram.
 void recordLatency(MetricId id, std::int64_t nanos) noexcept;
 
+/// The log2 bucket a latency observation lands in: bucket 0 for <= 0 ns,
+/// bucket b for [2^(b-1), 2^b) ns, saturating at kHistogramBuckets - 1.
+/// Exposed so out-of-registry digests (the robustd per-tenant latency
+/// digests) share the exact shape of registry histograms.
+[[nodiscard]] std::size_t latencyBucketIndex(std::int64_t nanos) noexcept;
+
+/// Upper bound, in nanoseconds, of the bucket holding the q-quantile
+/// observation of a log2-bucketed histogram (q clamped to [0, 1]); 0 when
+/// the histogram is empty. Exact to a factor of two — the intended
+/// resolution of a p50/p95/p99 digest, not a percentile estimator.
+[[nodiscard]] std::int64_t latencyQuantileUpperNanos(
+    std::span<const std::uint64_t> buckets, std::uint64_t count,
+    double q) noexcept;
+
 /// One merged counter / gauge / histogram in a snapshot.
 struct CounterValue {
   std::string name;
@@ -95,6 +134,11 @@ struct HistogramValue {
   std::uint64_t count = 0;     ///< total observations
   std::uint64_t sumNanos = 0;  ///< sum of all observations
   std::vector<std::uint64_t> buckets;  ///< kHistogramBuckets entries
+
+  /// latencyQuantileUpperNanos over this histogram's buckets.
+  [[nodiscard]] std::int64_t quantileUpperNanos(double q) const noexcept {
+    return latencyQuantileUpperNanos(buckets, count, q);
+  }
 };
 
 /// A point-in-time merge of every thread's shard plus the retired totals of

@@ -171,6 +171,22 @@ std::vector<WireResult> Client::analyze(std::uint64_t key,
   return decodeResult(reply, limits_, diag);
 }
 
+std::string Client::stats() {
+  std::vector<std::uint8_t> payload;
+  encodeAdminRequest(kStatsSchemaVersion, payload);
+  sendFrame(FrameType::Stats, payload);
+  const std::vector<std::uint8_t> reply = await(FrameType::StatsOk);
+  return {reinterpret_cast<const char*>(reply.data()), reply.size()};
+}
+
+std::string Client::traceDump() {
+  std::vector<std::uint8_t> payload;
+  encodeAdminRequest(kStatsSchemaVersion, payload);
+  sendFrame(FrameType::TraceDump, payload);
+  const std::vector<std::uint8_t> reply = await(FrameType::TraceDumpOk);
+  return {reinterpret_cast<const char*>(reply.data()), reply.size()};
+}
+
 void Client::bye() {
   if (fd_ < 0) {
     return;

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
@@ -26,12 +27,14 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "robust/obs/flight.hpp"
 #include "robust/obs/metrics.hpp"
 #include "robust/obs/report.hpp"
 #include "robust/util/error.hpp"
@@ -50,6 +53,110 @@ void obsCount(const char* name, std::uint64_t delta = 1) {
     obs::addCounter(obs::counterId(name), delta);
   }
 }
+
+/// Stable lower-case frame-type label for metrics ("net.frames{type=...}").
+const char* frameTypeLabel(FrameType type) noexcept {
+  switch (type) {
+    case FrameType::Hello:
+      return "hello";
+    case FrameType::Register:
+      return "register";
+    case FrameType::Analyze:
+      return "analyze";
+    case FrameType::Bye:
+      return "bye";
+    case FrameType::Stats:
+      return "stats";
+    case FrameType::TraceDump:
+      return "trace_dump";
+    default:
+      return "other";
+  }
+}
+
+/// Flight-recorder event name for one frame arrival (string literals: the
+/// recorder stores only the pointer).
+const char* frameFlightName(FrameType type) noexcept {
+  switch (type) {
+    case FrameType::Hello:
+      return "robustd.frame.hello";
+    case FrameType::Register:
+      return "robustd.frame.register";
+    case FrameType::Analyze:
+      return "robustd.frame.analyze";
+    case FrameType::Bye:
+      return "robustd.frame.bye";
+    case FrameType::Stats:
+      return "robustd.frame.stats";
+    case FrameType::TraceDump:
+      return "robustd.frame.trace_dump";
+    default:
+      return "robustd.frame.other";
+  }
+}
+
+/// JSON string escaping for the STATS document (tenant names are
+/// printable ASCII by wire contract, but stay safe anyway).
+void jsonEscape(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Always-on per-tenant latency digest: the exact bucket shape of the obs
+/// registry histograms, but owned by the IO thread (no sharding needed —
+/// one writer), so STATS carries p50/p95/p99 even with ROBUST_OBS=0.
+struct LatencyDigest {
+  std::uint64_t count = 0;
+  std::uint64_t sumNanos = 0;
+  std::array<std::uint64_t, obs::kHistogramBuckets> buckets{};
+
+  void record(std::int64_t nanos) noexcept {
+    ++count;
+    sumNanos += nanos <= 0 ? 0 : static_cast<std::uint64_t>(nanos);
+    ++buckets[obs::latencyBucketIndex(nanos)];
+  }
+
+  [[nodiscard]] std::int64_t quantileUpperNanos(double q) const noexcept {
+    return obs::latencyQuantileUpperNanos(buckets, count, q);
+  }
+};
+
+/// Everything the daemon knows about one tenant name, across all of its
+/// sessions, live and closed. Owned by the IO thread; folded into the
+/// STATS document. Totals accrue exactly once per event (frame accepted,
+/// completion drained, reject sent), so a snapshot under concurrent load
+/// equals the offline ledger.
+struct TenantTotals {
+  std::uint64_t sessions = 0;  ///< sessions that completed HELLO as this tenant
+  std::uint64_t frames = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t instances = 0;
+  std::uint64_t registers = 0;
+  std::uint64_t cacheHits = 0;
+  std::uint64_t cacheMisses = 0;
+  std::array<std::uint64_t, util::kRejectCategoryCount> rejects{};
+  double virtualTime = 0.0;  ///< largest admission virtual time reached
+  double chargedCost = 0.0;
+  LatencyDigest analyzeLatency;  ///< ANALYZE pool execution time
+  LatencyDigest compileLatency;  ///< REGISTER pool execution time
+  LatencyDigest queueLatency;    ///< admission-to-pool wait, both kinds
+};
 
 void setNonBlocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -249,6 +356,12 @@ class ProblemCache {
     return out;
   }
 
+  /// Entries currently cached (for the STATS snapshot).
+  [[nodiscard]] std::size_t entries() const {
+    std::lock_guard lock(mutex_);
+    return entries_.size();
+  }
+
  private:
   struct Entry {
     std::uint64_t key;
@@ -256,7 +369,7 @@ class ProblemCache {
     std::shared_ptr<const core::CompiledProblem> problem;
   };
   std::size_t capacity_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::list<Entry> entries_;  // MRU first
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
 };
@@ -267,6 +380,7 @@ struct Work {
   std::uint32_t requestId = 0;
   double cost = 1.0;        ///< fairness charge (instances, or bytes/4KiB)
   std::size_t bytes = 0;    ///< backpressure accounting
+  std::int64_t enqueueNanos = 0;  ///< admission timestamp (queue-wait digest)
   std::vector<std::uint8_t> specBytes;                      // Register
   std::shared_ptr<const core::CompiledProblem> problem;     // Analyze
   std::vector<double> origins;                              // Analyze
@@ -288,6 +402,8 @@ struct Completion {
   std::uint64_t cacheHit = 0;
   std::uint64_t cacheMiss = 0;
   std::uint64_t cacheEvictions = 0;
+  std::int64_t queueNanos = 0;  ///< admission-to-pool wait
+  std::int64_t execNanos = 0;   ///< pool execution time
 };
 
 struct Session {
@@ -354,6 +470,12 @@ struct Server::Impl {
   std::unordered_map<std::uint64_t, int> fdOfSession;
   double vtFloor = 0.0;        ///< system virtual time for new arrivals
   std::size_t poolBusy = 0;    ///< requests currently on the pool
+  /// Per-tenant totals across live AND closed sessions (std::map: the
+  /// STATS document iterates it in sorted, deterministic order). IO thread
+  /// only.
+  std::map<std::string, TenantTotals> tenants;
+  std::size_t backlogHighWater = 0;  ///< IO-thread shadow of the stat
+  std::uint64_t flightDumps = 0;     ///< on-fatal dumps written so far
 
   mutable std::mutex mutex;    ///< completions + stats
   std::vector<Completion> completions;
@@ -372,10 +494,20 @@ struct Server::Impl {
     poller->mod(s.fd, rd, s.wantWrite);
   }
 
+  /// Backpressure high-water tracking: called on every backlog increase.
+  void noteBacklog(const Session& s) {
+    if (s.backlogBytes > backlogHighWater) {
+      backlogHighWater = s.backlogBytes;
+      std::lock_guard lock(mutex);
+      stats.backlogHighWaterBytes = backlogHighWater;
+    }
+  }
+
   void appendReply(Session& s, std::vector<std::uint8_t> frame) {
     s.outBytes += frame.size();
     s.backlogBytes += frame.size();
     s.out.push_back(std::move(frame));
+    noteBacklog(s);
     if (!s.wantWrite) {
       s.wantWrite = true;
       syncInterest(s);
@@ -385,6 +517,9 @@ struct Server::Impl {
   void recordReject(Session& s, RejectCategory category) {
     const auto idx = static_cast<std::size_t>(category);
     s.rejects[idx]++;
+    if (s.helloDone) {
+      tenants[s.tenant].rejects[idx]++;
+    }
     {
       std::lock_guard lock(mutex);
       stats.rejects[idx]++;
@@ -413,6 +548,23 @@ struct Server::Impl {
       s.closing = true;
       discardPending(s);
       syncInterest(s);
+      dumpFlightOnFatal();
+    }
+  }
+
+  /// The operator's post-mortem: on a fatal reject, persist what every
+  /// thread was doing in the moments before framing was lost. Telemetry
+  /// must never take the daemon down, so failures are swallowed.
+  void dumpFlightOnFatal() {
+    if (options.flightDir.empty()) {
+      return;
+    }
+    try {
+      std::filesystem::create_directories(options.flightDir);
+      ++flightDumps;
+      obs::writeFlightTrace(options.flightDir + "/robustd_flight_fatal_" +
+                            std::to_string(flightDumps) + ".json");
+    } catch (const std::exception&) {
     }
   }
 
@@ -638,6 +790,9 @@ struct Server::Impl {
                           1, chosen->weight));
       chosen->virtualTime += charge;
       chosen->chargedCost += charge;
+      TenantTotals& totals = tenants[chosen->tenant];
+      totals.virtualTime = std::max(totals.virtualTime, chosen->virtualTime);
+      totals.chargedCost += charge;
       chosen->inflight = 1;
       ++poolBusy;
       submitWork(chosen->id, std::move(work));
@@ -663,6 +818,19 @@ struct Server::Impl {
   /// Executes one admitted request on a pool thread. Never throws: every
   /// failure becomes a categorized non-fatal reject reply.
   Completion runWork(const Work& work) {
+    const std::int64_t startNanos = obs::detail::nowNanos();
+    Completion done = runWorkInner(work);
+    const std::int64_t endNanos = obs::detail::nowNanos();
+    done.queueNanos = startNanos - work.enqueueNanos;
+    done.execNanos = endNanos - startNanos;
+    obs::recordFlight(work.kind == Work::Kind::Register
+                          ? "robustd.work.register"
+                          : "robustd.work.analyze",
+                      work.requestId, startNanos, endNanos - startNanos);
+    return done;
+  }
+
+  Completion runWorkInner(const Work& work) {
     Completion done;
     try {
       if (work.kind == Work::Kind::Register) {
@@ -771,6 +939,37 @@ struct Server::Impl {
       s.batches += done.batches;
       s.instancesDone += done.instances;
       s.registersDone += done.registers;
+      // Per-tenant ledger: pool work only exists after HELLO, so the
+      // tenant name is always set here.
+      TenantTotals& totals = tenants[s.tenant];
+      totals.batches += done.batches;
+      totals.instances += done.instances;
+      totals.registers += done.registers;
+      totals.cacheHits += done.cacheHit;
+      totals.cacheMisses += done.cacheMiss;
+      if (done.batches > 0 || done.registers > 0) {
+        totals.queueLatency.record(done.queueNanos);
+      }
+      if (done.batches > 0) {
+        totals.analyzeLatency.record(done.execNanos);
+      }
+      if (done.registers > 0) {
+        totals.compileLatency.record(done.execNanos);
+      }
+      if (obs::enabled()) [[unlikely]] {
+        if (done.batches > 0) {
+          obs::addCounter(obs::counterId("net.instances", "tenant", s.tenant),
+                          done.instances);
+          obs::recordLatency(
+              obs::histogramId("net.latency.analyze", "tenant", s.tenant),
+              done.execNanos);
+        }
+        if (done.registers > 0) {
+          obs::recordLatency(
+              obs::histogramId("net.latency.compile", "tenant", s.tenant),
+              done.execNanos);
+        }
+      }
       if (done.rejected) {
         recordReject(s, done.rejectCategory);
       }
@@ -784,16 +983,197 @@ struct Server::Impl {
     dispatch();
   }
 
+  // ------------------------------------------------------------- stats
+
+  static void appendDigest(std::string& out, const char* key,
+                           const LatencyDigest& digest) {
+    out += '"';
+    out += key;
+    out += "\":{\"count\":";
+    out += std::to_string(digest.count);
+    out += ",\"sum_nanos\":";
+    out += std::to_string(digest.sumNanos);
+    out += ",\"p50_nanos\":";
+    out += std::to_string(digest.quantileUpperNanos(0.50));
+    out += ",\"p95_nanos\":";
+    out += std::to_string(digest.quantileUpperNanos(0.95));
+    out += ",\"p99_nanos\":";
+    out += std::to_string(digest.quantileUpperNanos(0.99));
+    out += '}';
+  }
+
+  static std::string jsonDouble(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+  }
+
+  /// The robust.stats document. Runs on the IO thread, which owns the
+  /// sessions and the tenant ledger, so the snapshot is internally
+  /// consistent: every completed batch is either in the counters or not
+  /// yet drained — never half-applied. Key order is fixed and tenants
+  /// iterate sorted, so two servers that did the same work produce
+  /// structurally identical documents.
+  std::string buildStatsJson() {
+    ServerStats st;
+    {
+      std::lock_guard lock(mutex);
+      st = stats;
+    }
+    std::size_t pausedSessions = 0;
+    for (const auto& [fd, sp] : sessions) {
+      if (sp->paused) {
+        ++pausedSessions;
+      }
+    }
+    std::string out;
+    out.reserve(1024 + tenants.size() * 640);
+    out += "{\"schema\":\"";
+    out += kStatsSchemaName;
+    out += "\",\"schema_version\":";
+    out += std::to_string(kStatsSchemaVersion);
+    out += ",\"tool\":\"robustd\"";
+
+    out += ",\"server\":{\"sessions_opened\":";
+    out += std::to_string(st.sessionsOpened);
+    out += ",\"sessions_closed\":";
+    out += std::to_string(st.sessionsClosed);
+    out += ",\"sessions_active\":";
+    out += std::to_string(st.sessionsActive);
+    out += ",\"frames\":";
+    out += std::to_string(st.framesHandled);
+    out += ",\"batches\":";
+    out += std::to_string(st.batches);
+    out += ",\"instances\":";
+    out += std::to_string(st.instances);
+    out += ",\"registers\":";
+    out += std::to_string(st.registers);
+    out += ",\"disconnects\":";
+    out += std::to_string(st.disconnects);
+    out += ",\"stats_requests\":";
+    out += std::to_string(st.statsRequests);
+    out += ",\"trace_dumps\":";
+    out += std::to_string(st.traceDumps);
+    out += ",\"pool_workers\":";
+    out += std::to_string(pool.size());
+    out += ",\"pool_busy\":";
+    out += std::to_string(poolBusy);
+    out += ",\"virtual_time_floor\":";
+    out += jsonDouble(vtFloor);
+    out += '}';
+
+    out += ",\"cache\":{\"hits\":";
+    out += std::to_string(st.cacheHits);
+    out += ",\"misses\":";
+    out += std::to_string(st.cacheMisses);
+    out += ",\"evictions\":";
+    out += std::to_string(st.cacheEvictions);
+    out += ",\"entries\":";
+    out += std::to_string(cache.entries());
+    out += ",\"capacity\":";
+    out += std::to_string(options.cacheCapacity);
+    out += '}';
+
+    out += ",\"backpressure\":{\"stalls\":";
+    out += std::to_string(st.backpressureStalls);
+    out += ",\"max_inflight_bytes\":";
+    out += std::to_string(options.maxInflightBytes);
+    out += ",\"backlog_high_water_bytes\":";
+    out += std::to_string(st.backlogHighWaterBytes);
+    out += ",\"paused_sessions\":";
+    out += std::to_string(pausedSessions);
+    out += '}';
+
+    out += ",\"rejects\":{";
+    for (std::size_t c = 0; c < util::kRejectCategoryCount; ++c) {
+      if (c != 0) {
+        out += ',';
+      }
+      out += '"';
+      out += util::rejectCategoryName(static_cast<RejectCategory>(c));
+      out += "\":";
+      out += std::to_string(st.rejects[c]);
+    }
+    out += ",\"total\":";
+    out += std::to_string(st.rejectsTotal());
+    out += '}';
+
+    out += ",\"tenants\":{";
+    bool firstTenant = true;
+    for (const auto& [name, totals] : tenants) {
+      if (!firstTenant) {
+        out += ',';
+      }
+      firstTenant = false;
+      out += '"';
+      jsonEscape(out, name);
+      out += "\":{\"sessions\":";
+      out += std::to_string(totals.sessions);
+      out += ",\"frames\":";
+      out += std::to_string(totals.frames);
+      out += ",\"batches\":";
+      out += std::to_string(totals.batches);
+      out += ",\"instances\":";
+      out += std::to_string(totals.instances);
+      out += ",\"registers\":";
+      out += std::to_string(totals.registers);
+      out += ",\"cache_hits\":";
+      out += std::to_string(totals.cacheHits);
+      out += ",\"cache_misses\":";
+      out += std::to_string(totals.cacheMisses);
+      std::uint64_t rejectsTotal = 0;
+      for (std::uint64_t v : totals.rejects) {
+        rejectsTotal += v;
+      }
+      out += ",\"rejects_total\":";
+      out += std::to_string(rejectsTotal);
+      out += ",\"virtual_time\":";
+      out += jsonDouble(totals.virtualTime);
+      out += ",\"charged_cost\":";
+      out += jsonDouble(totals.chargedCost);
+      out += ",\"latency\":{";
+      appendDigest(out, "analyze", totals.analyzeLatency);
+      out += ',';
+      appendDigest(out, "compile", totals.compileLatency);
+      out += ',';
+      appendDigest(out, "queue", totals.queueLatency);
+      out += "}}";
+    }
+    out += '}';
+
+    out += ",\"flight\":{\"records\":";
+    out += std::to_string(obs::flightRecordCount());
+    out += ",\"capacity\":";
+    out += std::to_string(obs::flightCapacity());
+    out += ",\"dumps\":";
+    out += std::to_string(flightDumps);
+    out += "}}";
+    return out;
+  }
+
   // ------------------------------------------------------------ frames
 
   void handleFrame(Session& s, const FrameHeader& header,
                    std::span<const std::uint8_t> payload) {
     s.frames++;
+    if (s.helloDone) {
+      tenants[s.tenant].frames++;
+    }
     {
       std::lock_guard lock(mutex);
       stats.framesHandled++;
     }
     obsCount("net.frames");
+    if (obs::enabled()) [[unlikely]] {
+      obs::addCounter(
+          obs::counterId("net.frames", "type", frameTypeLabel(header.type)));
+    }
+    if (obs::flightEnabled()) {
+      // Instantaneous arrival marker, requestId-correlated: the dump shows
+      // which wire request each queue wait / compile / analyze belongs to.
+      obs::recordFlight(frameFlightName(header.type), header.requestId,
+                        obs::detail::nowNanos(), 0);
+    }
     const Diagnostics diag("robustd:frame");
     switch (header.type) {
       case FrameType::Hello: {
@@ -810,6 +1190,9 @@ struct Server::Impl {
           s.declaredDemand = hello.declaredDemand;
           s.weight = hello.declaredDemand;
           s.virtualTime = std::max(s.virtualTime, vtFloor);
+          TenantTotals& totals = tenants[s.tenant];
+          totals.sessions++;
+          totals.frames++;  // the HELLO frame itself, now attributable
           std::vector<std::uint8_t> reply;
           encodeHelloOk(s.id, reply);
           appendReply(s, buildFrame(FrameType::HelloOk, header.requestId,
@@ -891,6 +1274,70 @@ struct Server::Impl {
         maybeFinish(s);
         return;
       }
+      // Admin frames: answered inline on the IO thread — a snapshot is a
+      // read of state this thread already owns, so it never waits behind
+      // (or occupies) a pool worker, and no HELLO is required (a monitor
+      // is not a tenant).
+      case FrameType::Stats: {
+        try {
+          (void)decodeAdminRequest(payload, diag);
+        } catch (const ParseError& e) {
+          sendReject(s, header.requestId, e.diagnostic().category, false,
+                     e.diagnostic().format());
+          return;
+        }
+        {
+          std::lock_guard lock(mutex);
+          stats.statsRequests++;
+        }
+        const std::string json = buildStatsJson();
+        if (json.size() > options.limits.maxFrameBytes) {
+          sendReject(s, header.requestId, RejectCategory::Domain, false,
+                     "robustd: stats snapshot of " +
+                         std::to_string(json.size()) +
+                         " bytes exceeds the frame cap");
+          return;
+        }
+        appendReply(
+            s, buildFrame(FrameType::StatsOk, header.requestId,
+                          std::span<const std::uint8_t>(
+                              reinterpret_cast<const std::uint8_t*>(
+                                  json.data()),
+                              json.size())));
+        return;
+      }
+      case FrameType::TraceDump: {
+        try {
+          (void)decodeAdminRequest(payload, diag);
+        } catch (const ParseError& e) {
+          sendReject(s, header.requestId, e.diagnostic().category, false,
+                     e.diagnostic().format());
+          return;
+        }
+        std::ostringstream dump;
+        obs::writeFlightTrace(dump);
+        const std::string text = dump.str();
+        if (text.size() > options.limits.maxFrameBytes) {
+          // Refuse without draining: the records stay available for an
+          // on-fatal file dump, which has no frame cap.
+          sendReject(s, header.requestId, RejectCategory::Domain, false,
+                     "robustd: flight dump of " + std::to_string(text.size()) +
+                         " bytes exceeds the frame cap");
+          return;
+        }
+        obs::clearFlight();  // drain semantics: each record is reported once
+        {
+          std::lock_guard lock(mutex);
+          stats.traceDumps++;
+        }
+        appendReply(
+            s, buildFrame(FrameType::TraceDumpOk, header.requestId,
+                          std::span<const std::uint8_t>(
+                              reinterpret_cast<const std::uint8_t*>(
+                                  text.data()),
+                              text.size())));
+        return;
+      }
       default:
         sendReject(s, header.requestId, RejectCategory::Format, false,
                    "robustd: unexpected frame type 0x" +
@@ -909,8 +1356,10 @@ struct Server::Impl {
   }
 
   void admit(Session& s, Work&& work) {
+    work.enqueueNanos = obs::detail::nowNanos();
     s.backlogBytes += work.bytes;
     s.pending.push_back(std::move(work));
+    noteBacklog(s);
     updatePause(s);
     dispatch();
   }

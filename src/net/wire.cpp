@@ -173,6 +173,8 @@ bool isClientFrameType(std::uint8_t type) noexcept {
     case FrameType::Register:
     case FrameType::Analyze:
     case FrameType::Bye:
+    case FrameType::Stats:
+    case FrameType::TraceDump:
       return true;
     default:
       return false;
@@ -538,6 +540,29 @@ std::vector<WireResult> decodeResult(std::span<const std::uint8_t> payload,
   }
   reader.expectEnd("RESULT");
   return out;
+}
+
+void encodeAdminRequest(std::uint32_t schemaVersion,
+                        std::vector<std::uint8_t>& out) {
+  putU32(out, schemaVersion);
+  putU32(out, 0);
+}
+
+std::uint32_t decodeAdminRequest(std::span<const std::uint8_t> payload,
+                                 const Diagnostics& diag) {
+  Reader reader(payload, diag);
+  const std::uint32_t version = reader.u32("stats schema version");
+  if (version != kStatsSchemaVersion) {
+    diag.fail(RejectCategory::Structure, 0, 1,
+              "unsupported stats schema version " + std::to_string(version) +
+                  " (speaking " + std::to_string(kStatsSchemaVersion) + ")");
+  }
+  if (reader.u32("reserved field") != 0) {
+    diag.fail(RejectCategory::Structure, 0, 5,
+              "reserved admin-request bytes must be zero");
+  }
+  reader.expectEnd("admin request");
+  return version;
 }
 
 void encodeReject(const RejectInfo& reject, std::vector<std::uint8_t>& out) {

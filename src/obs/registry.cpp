@@ -6,16 +6,19 @@
 #include <array>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 #include <vector>
 
+#include "robust/obs/flight.hpp"
 #include "robust/obs/metrics.hpp"
 #include "robust/obs/trace.hpp"
 
@@ -27,17 +30,32 @@ std::atomic<bool> gEnabled{false};
 
 namespace {
 
-constexpr std::size_t kMaxCounters = 192;
+// Capacities sized for labeled series too: each distinct (name, label
+// key, label value) consumes one slot, so the tables leave headroom for a
+// realistic tenant population on top of the unlabeled instrumentation.
+constexpr std::size_t kMaxCounters = 256;
 constexpr std::size_t kMaxGauges = 64;
-constexpr std::size_t kMaxHistograms = 32;
+constexpr std::size_t kMaxHistograms = 64;
 /// Per-thread span cap: traces stay bounded on pathological runs; overflow
 /// is counted, not silently ignored.
 constexpr std::size_t kMaxSpansPerThread = 1u << 16;
+/// Retired flight rings kept for post-mortem dumps; beyond this the oldest
+/// retired thread's ring is dropped (the recorder stays bounded even under
+/// thread churn).
+constexpr std::size_t kMaxRetiredFlightThreads = 64;
 
 struct TraceEvent {
   const char* name;       ///< string literal, never owned
   std::int64_t startNs;
   std::int64_t durationNs;
+};
+
+struct FlightRecord {
+  const char* name;          ///< string literal, never owned
+  std::uint64_t requestId;   ///< wire correlation id (0 = none)
+  std::int64_t startNs;
+  std::int64_t durationNs;
+  std::uint64_t seq;         ///< per-thread record ordinal (ring order)
 };
 
 /// One thread's private slots. Owner-incremented with relaxed atomics; the
@@ -55,6 +73,13 @@ struct Shard {
   std::mutex traceMutex;
   std::vector<TraceEvent> trace;
   std::uint64_t droppedSpans = 0;
+  // Flight-recorder ring: owner-written under flightMutex (uncontended in
+  // steady state — a dump is the only other reader), overwriting the
+  // oldest record once full.
+  std::mutex flightMutex;
+  std::vector<FlightRecord> flight;
+  std::size_t flightNext = 0;   ///< overwrite cursor once the ring is full
+  std::uint64_t flightSeq = 0;  ///< next record ordinal
 };
 
 /// Totals of threads that have exited (their shards are freed on exit, so
@@ -73,6 +98,11 @@ struct RetiredTrace {
   std::vector<TraceEvent> events;
 };
 
+struct RetiredFlight {
+  std::uint32_t tid = 0;
+  std::vector<FlightRecord> records;  ///< ring order already restored
+};
+
 struct Registry {
   std::mutex mutex;  ///< names, shard list, retired totals — never recording
   std::vector<std::string> counterNames;
@@ -81,9 +111,25 @@ struct Registry {
   std::vector<Shard*> shards;
   RetiredTotals retired;
   std::vector<RetiredTrace> retiredTrace;
+  std::vector<RetiredFlight> retiredFlight;
   std::array<std::atomic<std::int64_t>, kMaxGauges> gauges{};
   std::uint32_t nextTid = 1;
 };
+
+std::atomic<std::size_t> gFlightCapacity{kDefaultFlightCapacity};
+
+/// A ring's records in chronological (sequence) order: the slice after the
+/// overwrite cursor is oldest.
+std::vector<FlightRecord> unrollRing(const Shard& shard) {
+  std::vector<FlightRecord> out;
+  out.reserve(shard.flight.size());
+  const std::size_t n = shard.flight.size();
+  const std::size_t cursor = shard.flightNext < n ? shard.flightNext : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(shard.flight[(cursor + i) % n]);
+  }
+  return out;
+}
 
 /// Leaked singleton: thread_local shard handles retire through it during
 /// thread (and process) teardown, so it must never be destroyed.
@@ -113,6 +159,12 @@ void retireShard(Shard* shard) {
     reg.retiredTrace.push_back(
         RetiredTrace{shard->tid, std::move(shard->trace)});
   }
+  if (!shard->flight.empty()) {
+    if (reg.retiredFlight.size() >= kMaxRetiredFlightThreads) {
+      reg.retiredFlight.erase(reg.retiredFlight.begin());
+    }
+    reg.retiredFlight.push_back(RetiredFlight{shard->tid, unrollRing(*shard)});
+  }
   reg.shards.erase(std::find(reg.shards.begin(), reg.shards.end(), shard));
   delete shard;
 }
@@ -139,22 +191,55 @@ Shard& localShard() {
   return *handle.shard;
 }
 
-MetricId registerName(std::vector<std::string>& names, std::size_t capacity,
-                      std::string_view name, const char* kind) {
-  Registry& reg = registry();
-  std::lock_guard lock(reg.mutex);
+/// Registration body; the registry mutex must already be held. Returns
+/// nullopt when the table is full and `name` is not already present.
+std::optional<MetricId> tryRegisterLocked(std::vector<std::string>& names,
+                                          std::size_t capacity,
+                                          std::string_view name) {
   for (std::size_t i = 0; i < names.size(); ++i) {
     if (names[i] == name) {
       return static_cast<MetricId>(i);
     }
   }
   if (names.size() >= capacity) {
-    throw std::runtime_error(std::string("obs: ") + kind +
-                             " capacity exhausted registering '" +
-                             std::string(name) + "'");
+    return std::nullopt;
   }
   names.emplace_back(name);
   return static_cast<MetricId>(names.size() - 1);
+}
+
+MetricId registerName(std::vector<std::string>& names, std::size_t capacity,
+                      std::string_view name, const char* kind) {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  if (const auto id = tryRegisterLocked(names, capacity, name)) {
+    return *id;
+  }
+  throw std::runtime_error(std::string("obs: ") + kind +
+                           " capacity exhausted registering '" +
+                           std::string(name) + "'");
+}
+
+MetricId registerLabeled(std::vector<std::string>& names, std::size_t capacity,
+                         std::string_view name, std::string_view key,
+                         std::string_view value, const char* kind) {
+  const std::string overflowName = labeledMetricName(name, key, "_other_");
+  const std::string seriesName = labeledMetricName(name, key, value);
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  // Reserve the overflow bucket before the specific series: once it
+  // exists, a full table degrades hostile label cardinality to
+  // aggregation under "_other_" instead of an error on the labeled path.
+  const auto overflow = tryRegisterLocked(names, capacity, overflowName);
+  if (!overflow) {
+    throw std::runtime_error(std::string("obs: ") + kind +
+                             " capacity exhausted registering '" +
+                             overflowName + "'");
+  }
+  if (const auto id = tryRegisterLocked(names, capacity, seriesName)) {
+    return *id;
+  }
+  return *overflow;
 }
 
 std::int64_t steadyNowNanos() noexcept;
@@ -197,6 +282,15 @@ const bool gEnvInitialized = [] {
     tracePathAtExit() = trace;
     std::atexit(writeTraceAtExit);
   }
+  if (const char* flight = std::getenv("ROBUST_FLIGHT");
+      flight != nullptr && *flight != '\0') {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(flight, &end, 10);
+    if (end != nullptr && *end == '\0') {
+      gFlightCapacity.store(static_cast<std::size_t>(parsed),
+                            std::memory_order_relaxed);
+    }
+  }
   return true;
 }();
 
@@ -219,6 +313,31 @@ MetricId histogramId(std::string_view name) {
                       "histogram");
 }
 
+std::string labeledMetricName(std::string_view name, std::string_view labelKey,
+                              std::string_view labelValue) {
+  std::string out;
+  out.reserve(name.size() + labelKey.size() + labelValue.size() + 3);
+  out.append(name);
+  out.push_back('{');
+  out.append(labelKey);
+  out.push_back('=');
+  out.append(labelValue);
+  out.push_back('}');
+  return out;
+}
+
+MetricId counterId(std::string_view name, std::string_view labelKey,
+                   std::string_view labelValue) {
+  return registerLabeled(registry().counterNames, kMaxCounters, name, labelKey,
+                         labelValue, "counter");
+}
+
+MetricId histogramId(std::string_view name, std::string_view labelKey,
+                     std::string_view labelValue) {
+  return registerLabeled(registry().histogramNames, kMaxHistograms, name,
+                         labelKey, labelValue, "histogram");
+}
+
 void addCounter(MetricId id, std::uint64_t delta) noexcept {
   localShard().counters[id].fetch_add(delta, std::memory_order_relaxed);
 }
@@ -235,13 +354,43 @@ void maxGauge(MetricId id, std::int64_t value) noexcept {
   }
 }
 
+std::size_t latencyBucketIndex(std::int64_t nanos) noexcept {
+  const std::uint64_t magnitude =
+      nanos <= 0 ? 0 : static_cast<std::uint64_t>(nanos);
+  return std::min<std::size_t>(
+      kHistogramBuckets - 1,
+      static_cast<std::size_t>(magnitude == 0 ? 0
+                                              : std::bit_width(magnitude)));
+}
+
+std::int64_t latencyQuantileUpperNanos(std::span<const std::uint64_t> buckets,
+                                       std::uint64_t count, double q) noexcept {
+  if (count == 0 || buckets.empty()) {
+    return 0;
+  }
+  const double clamped = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  std::uint64_t target =
+      static_cast<std::uint64_t>(std::ceil(clamped * static_cast<double>(count)));
+  target = std::max<std::uint64_t>(1, std::min(target, count));
+  std::uint64_t seen = 0;
+  std::size_t bucket = buckets.size() - 1;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= target) {
+      bucket = b;
+      break;
+    }
+  }
+  return bucket == 0
+             ? 0
+             : static_cast<std::int64_t>((std::uint64_t{1} << bucket) - 1);
+}
+
 void recordLatency(MetricId id, std::int64_t nanos) noexcept {
   Shard& shard = localShard();
   const std::uint64_t magnitude =
       nanos <= 0 ? 0 : static_cast<std::uint64_t>(nanos);
-  const std::size_t bucket = std::min<std::size_t>(
-      kHistogramBuckets - 1, static_cast<std::size_t>(
-                                 magnitude == 0 ? 0 : std::bit_width(magnitude)));
+  const std::size_t bucket = latencyBucketIndex(nanos);
   shard.histCount[id].fetch_add(1, std::memory_order_relaxed);
   shard.histSum[id].fetch_add(magnitude, std::memory_order_relaxed);
   shard.histBuckets[id][bucket].fetch_add(1, std::memory_order_relaxed);
@@ -494,6 +643,142 @@ std::uint64_t droppedSpanCount() noexcept {
   for (Shard* shard : reg.shards) {
     std::lock_guard traceLock(shard->traceMutex);
     total += shard->droppedSpans;
+  }
+  return total;
+}
+
+// --- flight recorder -----------------------------------------------------
+
+std::size_t flightCapacity() noexcept {
+  return gFlightCapacity.load(std::memory_order_relaxed);
+}
+
+void setFlightCapacity(std::size_t perThreadRecords) noexcept {
+  gFlightCapacity.store(perThreadRecords, std::memory_order_relaxed);
+}
+
+void recordFlight(const char* name, std::uint64_t requestId,
+                  std::int64_t startNanos,
+                  std::int64_t durationNanos) noexcept {
+  const std::size_t cap = gFlightCapacity.load(std::memory_order_relaxed);
+  if (cap == 0) {
+    return;
+  }
+  Shard& shard = localShard();
+  std::lock_guard lock(shard.flightMutex);
+  if (shard.flight.size() > cap) {
+    // Capacity was lowered since this ring filled: keep the newest `cap`
+    // records and restore plain ring order. Happens at most once per
+    // thread per capacity change.
+    std::vector<FlightRecord> ordered = unrollRing(shard);
+    shard.flight.assign(ordered.end() - static_cast<std::ptrdiff_t>(cap),
+                        ordered.end());
+    shard.flightNext = 0;
+  }
+  const FlightRecord rec{name, requestId, startNanos, durationNanos,
+                         shard.flightSeq++};
+  if (shard.flight.size() < cap) {
+    shard.flight.push_back(rec);
+  } else {
+    shard.flight[shard.flightNext] = rec;
+    shard.flightNext = (shard.flightNext + 1) % shard.flight.size();
+  }
+}
+
+void writeFlightTrace(std::ostream& out) {
+  // Same deterministic shape as writeTrace(): records sorted by (start,
+  // sequence) within a thread, threads by (first start, tid), tids
+  // remapped densely — plus the requestId as an event arg.
+  struct ThreadRecords {
+    std::uint32_t tid = 0;
+    std::vector<FlightRecord> records;
+  };
+  std::vector<ThreadRecords> threads;
+  {
+    Registry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    for (Shard* shard : reg.shards) {
+      std::lock_guard flightLock(shard->flightMutex);
+      if (!shard->flight.empty()) {
+        threads.push_back(ThreadRecords{shard->tid, unrollRing(*shard)});
+      }
+    }
+    for (const RetiredFlight& retired : reg.retiredFlight) {
+      threads.push_back(ThreadRecords{retired.tid, retired.records});
+    }
+  }
+  for (ThreadRecords& t : threads) {
+    std::sort(t.records.begin(), t.records.end(),
+              [](const FlightRecord& a, const FlightRecord& b) {
+                return a.startNs < b.startNs ||
+                       (a.startNs == b.startNs && a.seq < b.seq);
+              });
+  }
+  std::sort(threads.begin(), threads.end(),
+            [](const ThreadRecords& a, const ThreadRecords& b) {
+              const std::int64_t sa =
+                  a.records.empty() ? INT64_MAX : a.records.front().startNs;
+              const std::int64_t sb =
+                  b.records.empty() ? INT64_MAX : b.records.front().startNs;
+              return sa < sb || (sa == sb && a.tid < b.tid);
+            });
+
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  for (std::size_t t = 0; t < threads.size(); ++t) {
+    for (const FlightRecord& r : threads[t].records) {
+      if (!first) {
+        out << ',';
+      }
+      first = false;
+      out << "{\"name\":\"";
+      writeEscaped(out, r.name);
+      out << "\",\"cat\":\"flight\",\"ph\":\"X\",\"pid\":1,\"tid\":" << (t + 1);
+      std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                    static_cast<long long>(r.startNs / 1000),
+                    static_cast<long long>(r.startNs % 1000));
+      out << ",\"ts\":" << buf;
+      std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                    static_cast<long long>(r.durationNs / 1000),
+                    static_cast<long long>(r.durationNs % 1000));
+      out << ",\"dur\":" << buf;
+      out << ",\"args\":{\"requestId\":" << r.requestId << "}}";
+    }
+  }
+  out << "]}\n";
+}
+
+void writeFlightTrace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("obs: cannot open flight trace file '" + path +
+                             "'");
+  }
+  writeFlightTrace(out);
+}
+
+void clearFlight() noexcept {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  reg.retiredFlight.clear();
+  for (Shard* shard : reg.shards) {
+    std::lock_guard flightLock(shard->flightMutex);
+    shard->flight.clear();
+    shard->flightNext = 0;
+  }
+}
+
+std::uint64_t flightRecordCount() noexcept {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  std::uint64_t total = 0;
+  for (const RetiredFlight& retired : reg.retiredFlight) {
+    total += retired.records.size();
+  }
+  for (Shard* shard : reg.shards) {
+    std::lock_guard flightLock(shard->flightMutex);
+    total += shard->flight.size();
   }
   return total;
 }

@@ -368,6 +368,74 @@ TEST(NetWire, RejectPayloadRoundTrip) {
   EXPECT_EQ(back.message, info.message);
 }
 
+TEST(NetWire, AdminRequestRoundTrip) {
+  const Diagnostics diag("test");
+  std::vector<std::uint8_t> bytes;
+  robust::net::encodeAdminRequest(robust::net::kStatsSchemaVersion, bytes);
+  EXPECT_EQ(bytes.size(), 8u);  // u32 version + u32 reserved
+  EXPECT_EQ(robust::net::decodeAdminRequest(bytes, diag),
+            robust::net::kStatsSchemaVersion);
+}
+
+TEST(NetWire, AdminRequestRejectsHostileBytes) {
+  const Diagnostics diag("test");
+  const auto category = [&diag](const std::vector<std::uint8_t>& payload) {
+    try {
+      (void)robust::net::decodeAdminRequest(payload, diag);
+    } catch (const ParseError& e) {
+      return e.diagnostic().category;
+    }
+    ADD_FAILURE() << "admin payload of " << payload.size()
+                  << " bytes decoded successfully";
+    return RejectCategory::Other;
+  };
+
+  std::vector<std::uint8_t> good;
+  robust::net::encodeAdminRequest(robust::net::kStatsSchemaVersion, good);
+
+  // A schema version the server does not speak: Structure, and the message
+  // names both versions so the operator knows which side to upgrade.
+  std::vector<std::uint8_t> badVersion;
+  robust::net::encodeAdminRequest(robust::net::kStatsSchemaVersion + 9,
+                                  badVersion);
+  EXPECT_EQ(category(badVersion), RejectCategory::Structure);
+  try {
+    (void)robust::net::decodeAdminRequest(badVersion, diag);
+  } catch (const ParseError& e) {
+    EXPECT_NE(e.diagnostic().message.find("schema version"),
+              std::string::npos);
+  }
+
+  // Nonzero reserved bits: Structure.
+  std::vector<std::uint8_t> reserved = good;
+  reserved[5] = 1;
+  EXPECT_EQ(category(reserved), RejectCategory::Structure);
+
+  // Trailing garbage after a well-formed request: Structure.
+  std::vector<std::uint8_t> trailing = good;
+  trailing.push_back(0xab);
+  EXPECT_EQ(category(trailing), RejectCategory::Structure);
+
+  // Every strict prefix is an underrun: Truncated, never a crash.
+  for (std::size_t n = 0; n < good.size(); ++n) {
+    const std::vector<std::uint8_t> prefix(good.begin(),
+                                           good.begin() + static_cast<long>(n));
+    EXPECT_EQ(category(prefix), RejectCategory::Truncated)
+        << "prefix of " << n << " bytes";
+  }
+}
+
+TEST(NetWire, AdminFrameTypesAreClientFrames) {
+  EXPECT_TRUE(robust::net::isClientFrameType(
+      static_cast<std::uint8_t>(FrameType::Stats)));
+  EXPECT_TRUE(robust::net::isClientFrameType(
+      static_cast<std::uint8_t>(FrameType::TraceDump)));
+  EXPECT_FALSE(robust::net::isClientFrameType(
+      static_cast<std::uint8_t>(FrameType::StatsOk)));
+  EXPECT_FALSE(robust::net::isClientFrameType(
+      static_cast<std::uint8_t>(FrameType::TraceDumpOk)));
+}
+
 TEST(NetWire, EncodeRefusesSpecsThatCannotCrossTheWire) {
   ProblemSpec callable = sampleSpec();
   callable.features[0].impact = ImpactFunction::callable(

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <filesystem>
@@ -24,6 +25,7 @@
 #include "robust/hiperd/compiled_scenario.hpp"
 #include "robust/hiperd/generator.hpp"
 #include "robust/numeric/simd.hpp"
+#include "robust/obs/flight.hpp"
 #include "robust/obs/json_lite.hpp"
 #include "robust/obs/metrics.hpp"
 #include "robust/obs/report.hpp"
@@ -43,11 +45,15 @@ class ObsFixture : public ::testing::Test {
     obs::setEnabled(true);
     obs::resetMetrics();
     obs::clearTrace();
+    obs::clearFlight();
+    obs::setFlightCapacity(obs::kDefaultFlightCapacity);
   }
   void TearDown() override {
     obs::setEnabled(false);
     obs::resetMetrics();
     obs::clearTrace();
+    obs::clearFlight();
+    obs::setFlightCapacity(obs::kDefaultFlightCapacity);
     obs::detail::setClockForTesting(nullptr);
   }
 };
@@ -189,6 +195,140 @@ TEST_F(ObsMetrics, SnapshotUnderConcurrentWritersIsSafeAndMonotone) {
   EXPECT_EQ(obs::snapshotMetrics().counter("test.race"), kTotal);
 }
 
+// --------------------------------------------------------------- labeled
+
+TEST_F(ObsMetrics, LabeledCountersComposeSeriesNames) {
+  const obs::MetricId alice = obs::counterId("test.lbl", "tenant", "alice");
+  const obs::MetricId bob = obs::counterId("test.lbl", "tenant", "bob");
+  EXPECT_NE(alice, bob);
+  EXPECT_EQ(alice, obs::counterId("test.lbl", "tenant", "alice"));
+  obs::addCounter(alice, 3);
+  obs::addCounter(bob, 4);
+  const auto snapshot = obs::snapshotMetrics();
+  EXPECT_EQ(snapshot.counter("test.lbl{tenant=alice}"), 3u);
+  EXPECT_EQ(snapshot.counter("test.lbl{tenant=bob}"), 4u);
+  EXPECT_EQ(snapshot.counter("test.lbl"), 0u);  // the bare name is distinct
+}
+
+// The labeled path rides the same shard/retired merge as plain counters:
+// per-tenant totals must be exact even when every writer thread has
+// already exited by snapshot time.
+TEST_F(ObsMetrics, LabeledCountersMergeRetiredThreadsExactly) {
+  const obs::MetricId alice = obs::counterId("test.lblret", "tenant", "alice");
+  const obs::MetricId bob = obs::counterId("test.lblret", "tenant", "bob");
+  constexpr int kThreads = 6;
+  constexpr int kIncrements = 5000;
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([alice, bob, t] {
+        for (int i = 0; i < kIncrements; ++i) {
+          obs::addCounter(t % 2 == 0 ? alice : bob);
+        }
+      });
+    }
+    for (std::thread& w : workers) {
+      w.join();
+    }
+  }
+  const auto snapshot = obs::snapshotMetrics();
+  EXPECT_EQ(snapshot.counter("test.lblret{tenant=alice}"),
+            3u * kIncrements);
+  EXPECT_EQ(snapshot.counter("test.lblret{tenant=bob}"), 3u * kIncrements);
+}
+
+// Hostile label cardinality (a tenant name per connection, say) must not
+// crash or throw on the recording path: once the table fills, new label
+// values degrade to the shared {tenant=_other_} aggregation bucket that
+// was reserved at the first labeled registration.
+TEST_F(ObsMetrics, LabeledRegistrationOverflowsToAggregationBucket) {
+  const obs::MetricId overflow = obs::counterId("test.ovf", "tenant", "_other_");
+  std::uint64_t overflowed = 0;
+  for (int i = 0; i < 400; ++i) {
+    const obs::MetricId id =
+        obs::counterId("test.ovf", "tenant", "t" + std::to_string(i));
+    obs::addCounter(id);
+    if (id == overflow) {
+      ++overflowed;
+    }
+  }
+  ASSERT_GT(overflowed, 0u) << "400 label values never exhausted the table";
+  const auto snapshot = obs::snapshotMetrics();
+  EXPECT_EQ(snapshot.counter("test.ovf{tenant=_other_}"), overflowed);
+  // The series registered before exhaustion stay exact.
+  EXPECT_EQ(snapshot.counter("test.ovf{tenant=t0}"), 1u);
+}
+
+TEST_F(ObsMetrics, HistogramQuantilesUseBucketUpperBounds) {
+  const obs::MetricId id = obs::histogramId("test.lat", "tenant", "alice");
+  for (int i = 0; i < 100; ++i) {
+    obs::recordLatency(id, 100);  // bit_width(100) = 7 -> [64, 127]
+  }
+  for (int i = 0; i < 10; ++i) {
+    obs::recordLatency(id, 1000000);  // bit_width = 20 -> [524288, 1048575]
+  }
+  const auto snapshot = obs::snapshotMetrics();
+  const obs::HistogramValue* hist =
+      snapshot.histogram("test.lat{tenant=alice}");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 110u);
+  EXPECT_EQ(hist->quantileUpperNanos(0.50), 127u);
+  EXPECT_EQ(hist->quantileUpperNanos(0.95), 1048575u);
+  EXPECT_EQ(hist->quantileUpperNanos(0.99), 1048575u);
+
+  const obs::HistogramValue* empty =
+      snapshot.histogram("test.lat{tenant=alice}");
+  ASSERT_NE(empty, nullptr);
+  std::array<std::uint64_t, obs::kHistogramBuckets> zeros{};
+  EXPECT_EQ(obs::latencyQuantileUpperNanos(zeros, 0, 0.5), 0u);
+}
+
+// A STATS snapshot runs concurrently with labeled writers and fetch-max
+// gauge updates; every intermediate snapshot must be consistent (monotone
+// counters, gauge never above the true maximum) and the final state exact.
+TEST_F(ObsMetrics, LabeledWritersAndMaxGaugeSurviveConcurrentSnapshots) {
+  const obs::MetricId alice = obs::counterId("test.lblrace", "tenant", "alice");
+  const obs::MetricId bob = obs::counterId("test.lblrace", "tenant", "bob");
+  const obs::MetricId gauge = obs::gaugeId("test.lblrace.highwater");
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 20000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([alice, bob, gauge, t, &go] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kIncrements; ++i) {
+        obs::addCounter(t % 2 == 0 ? alice : bob);
+        obs::maxGauge(gauge, t * kIncrements + i);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  constexpr std::uint64_t kPerTenant =
+      static_cast<std::uint64_t>(kThreads / 2) * kIncrements;
+  constexpr std::int64_t kMaxGauge = (kThreads - 1) * kIncrements +
+                                     (kIncrements - 1);
+  std::uint64_t prevAlice = 0;
+  for (int s = 0; s < 100; ++s) {
+    const auto snapshot = obs::snapshotMetrics();
+    const std::uint64_t seen = snapshot.counter("test.lblrace{tenant=alice}");
+    EXPECT_GE(seen, prevAlice);
+    EXPECT_LE(seen, kPerTenant);
+    EXPECT_LE(snapshot.gauge("test.lblrace.highwater"), kMaxGauge);
+    prevAlice = seen;
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  const auto snapshot = obs::snapshotMetrics();
+  EXPECT_EQ(snapshot.counter("test.lblrace{tenant=alice}"), kPerTenant);
+  EXPECT_EQ(snapshot.counter("test.lblrace{tenant=bob}"), kPerTenant);
+  EXPECT_EQ(snapshot.gauge("test.lblrace.highwater"), kMaxGauge);
+}
+
 // ---------------------------------------------------------------- trace
 
 // Deterministic test clock: starts at 1 ms, advances 500 ns per reading.
@@ -269,6 +409,108 @@ TEST_F(ObsTrace, ClearTraceDiscardsRecordedSpans) {
   std::ostringstream out;
   obs::writeTrace(out);
   EXPECT_EQ(out.str().find("to_be_cleared"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- flight
+
+using ObsFlight = ObsFixture;
+
+std::string flightDumpText() {
+  std::ostringstream out;
+  obs::writeFlightTrace(out);
+  return out.str();
+}
+
+// The flight recorder runs independently of obs::enabled(): it is the
+// always-on crash-context ring, gated only by its capacity.
+TEST_F(ObsFlight, RecordsWithMetricsDisabled) {
+  obs::setEnabled(false);
+  obs::recordFlight("flight.test", 7, 1000, 250);
+  obs::setEnabled(true);
+  EXPECT_EQ(obs::flightRecordCount(), 1u);
+  const std::string dump = flightDumpText();
+  EXPECT_NE(dump.find("\"flight.test\""), std::string::npos);
+  EXPECT_NE(dump.find("\"requestId\":7"), std::string::npos);
+  EXPECT_NE(dump.find("\"cat\":\"flight\""), std::string::npos);
+}
+
+// The ring keeps the NEWEST capacity records; older ones are overwritten
+// in place and the dump is chronological.
+TEST_F(ObsFlight, RingWrapsKeepingNewestRecords) {
+  obs::setFlightCapacity(4);
+  for (int i = 0; i < 7; ++i) {
+    obs::recordFlight("flight.wrap", static_cast<std::uint64_t>(i),
+                      1000 * (i + 1), 10);
+  }
+  EXPECT_EQ(obs::flightRecordCount(), 4u);
+  const std::string dump = flightDumpText();
+  EXPECT_EQ(dump.find("\"requestId\":2"), std::string::npos);  // overwritten
+  for (int i = 3; i < 7; ++i) {
+    EXPECT_NE(dump.find("\"requestId\":" + std::to_string(i)),
+              std::string::npos);
+  }
+  // Chronological within the thread: request 3's event precedes request 6's.
+  EXPECT_LT(dump.find("\"requestId\":3"), dump.find("\"requestId\":6"));
+}
+
+TEST_F(ObsFlight, ZeroCapacityDisablesRecording) {
+  obs::setFlightCapacity(0);
+  EXPECT_FALSE(obs::flightEnabled());
+  obs::recordFlight("flight.off", 1, 100, 10);
+  {
+    const obs::FlightSpan span("flight.off_span", 2);
+  }
+  EXPECT_EQ(obs::flightRecordCount(), 0u);
+}
+
+TEST_F(ObsFlight, FlightSpanMeasuresWithTestClock) {
+  gFakeNow = 1000000;
+  obs::detail::setClockForTesting(&fakeClock);
+  {
+    const obs::FlightSpan span("flight.span", 42);
+  }  // two clock reads, 500 ns apart
+  obs::detail::setClockForTesting(nullptr);
+  const std::string dump = flightDumpText();
+  EXPECT_NE(dump.find("\"name\":\"flight.span\""), std::string::npos);
+  EXPECT_NE(dump.find("\"ts\":1000.000"), std::string::npos);
+  EXPECT_NE(dump.find("\"dur\":0.500"), std::string::npos);
+  EXPECT_NE(dump.find("\"requestId\":42"), std::string::npos);
+}
+
+// Two identical recording sequences under the test clock serialize to
+// byte-identical documents, and records from exited threads survive into
+// the dump (the retired-flight fold).
+TEST_F(ObsFlight, DumpIsDeterministicAndIncludesRetiredThreads) {
+  const auto run = [] {
+    obs::clearFlight();
+    gFakeNow = 5000;
+    obs::detail::setClockForTesting(&fakeClock);
+    std::thread worker([] {
+      obs::recordFlight("flight.worker", 11, 2000, 100);
+    });
+    worker.join();  // the worker's ring retires at thread exit
+    {
+      const obs::FlightSpan span("flight.main", 12);
+    }
+    obs::detail::setClockForTesting(nullptr);
+    return flightDumpText();
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_EQ(first, second) << "flight dump is not deterministic";
+  EXPECT_NE(first.find("\"flight.worker\""), std::string::npos);
+  EXPECT_NE(first.find("\"flight.main\""), std::string::npos);
+  // Both threads appear, remapped to dense tids 1 and 2 (the retired
+  // worker sorts first: its record starts earliest).
+  EXPECT_NE(first.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(first.find("\"tid\":2"), std::string::npos);
+}
+
+TEST_F(ObsFlight, ClearFlightDropsEverything) {
+  obs::recordFlight("flight.gone", 1, 100, 10);
+  obs::clearFlight();
+  EXPECT_EQ(obs::flightRecordCount(), 0u);
+  EXPECT_EQ(flightDumpText().find("flight.gone"), std::string::npos);
 }
 
 // ---------------------------------------------------------------- report
@@ -524,13 +766,19 @@ TEST_F(ObsMetrics, StreamLaneRecordsNothingWhenDisabled) {
 
 // The acceptance pin: with recording off, the instrumentation added to the
 // localSearch round must cost < 1% of the round. Measured empirically: the
-// per-op cost of the disabled-mode guard pattern (Span + counter), times a
-// conservative ops-per-round bound (the round-level instrumentation is a
-// handful of guarded sites; the per-probe loop carries only plain integer
-// stats increments), against the measured round time on the
-// BM_LocalSearchRound default instance (20 apps x 5 machines).
+// per-op cost of the disabled-mode guard pattern (Span + plain counter +
+// labeled counter — the labeled series added for per-tenant introspection
+// ride the same guard), times a conservative ops-per-round bound (the
+// round-level instrumentation is a handful of guarded sites; the per-probe
+// loop carries only plain integer stats increments), against the measured
+// round time on the BM_LocalSearchRound default instance (20 apps x 5
+// machines). The flight recorder is compiled in at its default ring
+// capacity during the measurement — it instruments robustd's frame/work
+// boundaries, never the search loop, so its cost must not appear here.
 TEST(ObsOverhead, DisabledModeCostsUnderOnePercentOfSearchRound) {
   obs::setEnabled(false);
+  obs::setFlightCapacity(obs::kDefaultFlightCapacity);
+  ASSERT_TRUE(obs::flightEnabled());
 
   // Per-op cost of the disabled pattern, median of 5 batches.
   constexpr int kOps = 200000;
@@ -542,6 +790,9 @@ TEST(ObsOverhead, DisabledModeCostsUnderOnePercentOfSearchRound) {
       if (obs::enabled()) [[unlikely]] {
         static const obs::MetricId kId = obs::counterId("overhead.counter");
         obs::addCounter(kId);
+        static const obs::MetricId kLabeled =
+            obs::counterId("overhead.labeled", "tenant", "probe");
+        obs::addCounter(kLabeled);
       }
     }
     batches.push_back(static_cast<double>(watch.nanos()) / kOps);

@@ -128,4 +128,89 @@ TEST(ReportCheck, GenuineRegressionStillExitsOne) {
   EXPECT_NE(r.output.find("regressed"), std::string::npos) << r.output;
 }
 
+// A minimal but complete robust.stats snapshot (the STATS admin reply, as
+// saved by robustd_stat --json).
+constexpr const char* kValidStats = R"({
+  "schema": "robust.stats",
+  "schema_version": 1,
+  "tool": "robustd",
+  "server": {"sessions_opened": 2, "sessions_closed": 2,
+             "sessions_active": 0, "frames": 9, "batches": 4,
+             "instances": 128, "registers": 1, "disconnects": 0,
+             "stats_requests": 1, "trace_dumps": 0, "pool_workers": 2,
+             "pool_busy": 0, "virtual_time_floor": 4.5},
+  "cache": {"hits": 1, "misses": 1, "evictions": 0, "entries": 1,
+            "capacity": 64},
+  "backpressure": {"stalls": 0, "max_inflight_bytes": 4194304,
+                   "backlog_high_water_bytes": 512, "paused_sessions": 0},
+  "rejects": {"format": 1, "domain": 0, "structure": 2, "truncated": 0,
+              "other": 0, "total": 3},
+  "tenants": {"alice": {"sessions": 1, "frames": 7, "batches": 4,
+                        "instances": 128, "registers": 1, "cache_hits": 0,
+                        "cache_misses": 1, "rejects_total": 0,
+                        "virtual_time": 4.5, "charged_cost": 128.0,
+                        "latency": {
+    "analyze": {"count": 4, "sum_nanos": 4000, "p50_nanos": 1023,
+                "p95_nanos": 2047, "p99_nanos": 2047},
+    "compile": {"count": 1, "sum_nanos": 900, "p50_nanos": 1023,
+                "p95_nanos": 1023, "p99_nanos": 1023},
+    "queue": {"count": 5, "sum_nanos": 100, "p50_nanos": 31,
+              "p95_nanos": 63, "p99_nanos": 63}}}},
+  "flight": {"records": 12, "capacity": 512, "dumps": 0}
+})";
+
+TEST(ReportCheck, ValidStatsSnapshotPassesWithDottedRequires) {
+  TempDir dir("stats_ok");
+  const std::string stats = dir.file("stats.json", kValidStats);
+  const RunResult r = runTool(
+      dir, stats +
+               " --require server.frames --require tenants.alice.batches"
+               " --require flight.capacity");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+}
+
+TEST(ReportCheck, StatsMissingRequiredKeyExitsOne) {
+  TempDir dir("stats_req");
+  const std::string stats = dir.file("stats.json", kValidStats);
+  const RunResult r = runTool(dir, stats + " --require tenants.bob");
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find("required stats key 'tenants.bob' is missing"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(ReportCheck, StatsSchemaViolationsAreCaught) {
+  TempDir dir("stats_bad");
+  // rejects.total disagrees with the category sum: a half-updated or
+  // hand-edited document must not validate.
+  std::string lying = kValidStats;
+  const std::string needle = "\"total\": 3";
+  lying.replace(lying.find(needle), needle.size(), "\"total\": 7");
+  const std::string stats = dir.file("stats.json", lying);
+  const RunResult r = runTool(dir, stats);
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find("rejects.total"), std::string::npos) << r.output;
+
+  // A tenant whose latency section lost a digest fails too.
+  std::string chopped = kValidStats;
+  const std::string digest = "\"compile\"";
+  chopped.replace(chopped.find(digest), digest.size(), "\"renamed\"");
+  const std::string stats2 = dir.file("stats2.json", chopped);
+  const RunResult r2 = runTool(dir, stats2);
+  EXPECT_EQ(r2.exitCode, 1) << r2.output;
+  EXPECT_NE(r2.output.find("latency.compile"), std::string::npos)
+      << r2.output;
+}
+
+TEST(ReportCheck, StatsWithWrongSchemaVersionExitsOne) {
+  TempDir dir("stats_ver");
+  std::string wrong = kValidStats;
+  const std::string needle = "\"schema_version\": 1";
+  wrong.replace(wrong.find(needle), needle.size(), "\"schema_version\": 99");
+  const std::string stats = dir.file("stats.json", wrong);
+  const RunResult r = runTool(dir, stats);
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find("schema_version"), std::string::npos) << r.output;
+}
+
 }  // namespace
