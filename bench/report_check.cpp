@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <string>
 #include <utility>
@@ -143,6 +144,101 @@ void expectNumbers(Checker& check, const Value& obj, const std::string& prefix,
                    std::initializer_list<const char*> keys) {
   for (const char* key : keys) {
     check.expect(obj.find(key), Kind::Number, prefix + "." + key);
+  }
+}
+
+/// Validates a "robust.curve" degradation-curve section (written by
+/// robust::curve::appendCurveSection): schema header, count consistency,
+/// and the structural invariants of an empirical CDF — radii increasing,
+/// probabilities monotone non-decreasing in [0, 1], and every pointwise
+/// Clopper-Pearson band bracketing its estimate. When the report embeds a
+/// curve.samples counter, it must equal the section's sample count — a
+/// mismatch means the section and the metrics window describe different
+/// runs.
+void checkCurveSection(Checker& check, const Value& curve,
+                       const Value* metrics) {
+  const Value* schema = curve.find("schema");
+  if (check.expect(schema, Kind::String, "curve.schema") &&
+      schema->string != "robust.curve") {
+    check.fail("curve.schema is '" + schema->string +
+               "', expected 'robust.curve'");
+  }
+  const Value* version = curve.find("schema_version");
+  if (check.expect(version, Kind::Number, "curve.schema_version") &&
+      version->number != 1) {
+    check.fail("curve.schema_version is not 1");
+  }
+  expectNumbers(check, curve, "curve",
+                {"samples", "finite", "seed", "confidence", "dkw_epsilon",
+                 "rho"});
+  for (const char* flag : {"fast_lane", "cache_hit"}) {
+    const Value* v = curve.find(flag);
+    if (v == nullptr || v->kind != Kind::Bool) {
+      check.fail(std::string("curve.") + flag + " is not a boolean");
+    }
+  }
+  const Value* samples = curve.find("samples");
+  const Value* finite = curve.find("finite");
+  if (samples != nullptr && samples->kind == Kind::Number &&
+      finite != nullptr && finite->kind == Kind::Number &&
+      finite->number > samples->number) {
+    check.fail("curve.finite exceeds curve.samples");
+  }
+  const Value* points = curve.find("points");
+  if (!check.expect(points, Kind::Array, "curve.points")) {
+    return;
+  }
+  double prevRadius = -std::numeric_limits<double>::infinity();
+  double prevProbability = -1.0;
+  for (std::size_t i = 0; i < points->array.size(); ++i) {
+    const Value& p = points->array[i];
+    const std::string prefix = "curve.points[" + std::to_string(i) + "]";
+    if (p.kind != Kind::Object) {
+      check.fail(prefix + " is not an object");
+      continue;
+    }
+    expectNumbers(check, p, prefix,
+                  {"radius", "probability", "lower", "upper"});
+    const Value* radius = p.find("radius");
+    const Value* probability = p.find("probability");
+    const Value* lower = p.find("lower");
+    const Value* upper = p.find("upper");
+    if (radius == nullptr || radius->kind != Kind::Number ||
+        probability == nullptr || probability->kind != Kind::Number ||
+        lower == nullptr || lower->kind != Kind::Number ||
+        upper == nullptr || upper->kind != Kind::Number) {
+      continue;
+    }
+    if (radius->number <= prevRadius) {
+      check.fail(prefix + ".radius is not increasing");
+    }
+    if (probability->number < prevProbability) {
+      check.fail(prefix + ".probability decreases (a CDF cannot)");
+    }
+    if (probability->number < 0.0 || probability->number > 1.0) {
+      check.fail(prefix + ".probability is outside [0, 1]");
+    }
+    if (lower->number > probability->number ||
+        probability->number > upper->number) {
+      check.fail(prefix + " band does not bracket its estimate");
+    }
+    prevRadius = radius->number;
+    prevProbability = probability->number;
+  }
+  if (metrics == nullptr || metrics->kind != Kind::Object ||
+      samples == nullptr || samples->kind != Kind::Number) {
+    return;
+  }
+  const Value* counters = metrics->find("counters");
+  if (counters == nullptr || counters->kind != Kind::Object) {
+    return;
+  }
+  const Value* counted = counters->find("curve.samples");
+  if (counted != nullptr && counted->kind == Kind::Number &&
+      counted->number != samples->number) {
+    check.fail("curve.samples (" + std::to_string(samples->number) +
+               ") disagrees with the metrics counter curve.samples (" +
+               std::to_string(counted->number) + ")");
   }
 }
 
@@ -308,10 +404,27 @@ int checkRunReport(const std::string& path,
     }
     // A benchmark entry satisfies --require NAME when it is named exactly
     // NAME or NAME/<args> (google-benchmark appends /arg0/arg1... for
-    // parameterized runs).
+    // parameterized runs). A NAME that matches the "schema" string of an
+    // extra top-level section (e.g. "robust.curve") is satisfied by that
+    // section instead, so CI can require a report to carry a curve digest.
     for (const std::string& want : required) {
       bool found = false;
+      for (const auto& [key, section] : doc.object) {
+        if (section.kind != Kind::Object) {
+          continue;
+        }
+        const Value* sectionSchema = section.find("schema");
+        if (sectionSchema != nullptr &&
+            sectionSchema->kind == Kind::String &&
+            sectionSchema->string == want) {
+          found = true;
+          break;
+        }
+      }
       for (const Value& row : benchmarks->array) {
+        if (found) {
+          break;
+        }
         if (row.kind != Kind::Object) {
           continue;
         }
@@ -336,6 +449,14 @@ int checkRunReport(const std::string& path,
   const Value* metrics = doc.find("metrics");
   if (check.expect(metrics, Kind::Object, "metrics")) {
     checkMetricsSection(check, *metrics);
+  }
+  if (const Value* curveSection = doc.find("curve");
+      curveSection != nullptr) {
+    if (curveSection->kind != Kind::Object) {
+      check.fail("curve section is not an object");
+    } else {
+      checkCurveSection(check, *curveSection, metrics);
+    }
   }
   return check.failures();
 }

@@ -36,6 +36,11 @@
 #include "robust/core/feature.hpp"
 #include "robust/core/report.hpp"
 
+namespace robust::curve {
+class CurveEngine;
+class DriftTracker;
+}  // namespace robust::curve
+
 namespace robust::core {
 
 /// Phase-1 input: the complete FePIA derivation (steps 1-3) plus the
@@ -279,6 +284,14 @@ class CompiledProblem {
   // and screens rows with the compiled default-origin dots; it needs the
   // packed internals, not a widened public surface.
   friend class StreamEngine;
+  // The degradation-curve engine (src/curve/curve.cpp) derives per-sample
+  // closed-form violation radii from the packed rows and the
+  // compile-cached default-origin dots; the drift tracker
+  // (src/curve/drift.cpp) maintains those dots incrementally under
+  // perturbation-side deltas. Same rationale as StreamEngine: packed
+  // internals, not a widened public surface.
+  friend class robust::curve::CurveEngine;
+  friend class robust::curve::DriftTracker;
 
   void radiusOfInto(std::size_t index, std::span<const double> origin,
                     double constant, double scale, RadiusReport& out,

@@ -51,6 +51,14 @@ struct RunReport {
   std::vector<BenchResult> benchmarks;
   /// Embed snapshotMetrics() at write time (set false to omit the section).
   bool includeMetrics = true;
+  /// Extra top-level sections, emitted verbatim after "metrics" as
+  /// `"key": <value>`. The value must be a complete, pre-rendered JSON
+  /// value; the producer subsystem owns its schema (e.g. robust::curve
+  /// renders its "curve" section without obs depending on it). Keys must
+  /// not collide with the built-in sections — writeRunReport throws on
+  /// "schema", "schema_version", "tool", "info", "benchmarks", "metrics",
+  /// and on duplicate keys.
+  std::vector<std::pair<std::string, std::string>> sections;
 };
 
 /// Writes `report` as schema-version-1 JSON.

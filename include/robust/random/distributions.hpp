@@ -17,6 +17,13 @@ namespace robust::rnd {
 /// the discarded sibling keeps the sampler stateless).
 [[nodiscard]] double standardNormal(Pcg32& rng);
 
+/// Both Box-Muller outputs from one pair of uniforms: `z0` is exactly the
+/// value standardNormal(rng) would return for the same generator state;
+/// `z1` is the sibling the scalar sampler discards. Throughput lane for
+/// consumers that need whole Gaussian vectors (the curve engine's
+/// direction generator draws dim values with ceil(dim / 2) pairs).
+void standardNormalPair(Pcg32& rng, double& z0, double& z1);
+
 /// Gamma(shape k, scale theta) draw via Marsaglia-Tsang squeeze (k >= 1)
 /// with the Johnk-style boost for k < 1. Mean = k * theta, var = k * theta^2.
 [[nodiscard]] double gamma(Pcg32& rng, double shape, double scale);

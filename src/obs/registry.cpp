@@ -372,14 +372,32 @@ std::int64_t latencyQuantileUpperNanos(std::span<const std::uint64_t> buckets,
   std::uint64_t target =
       static_cast<std::uint64_t>(std::ceil(clamped * static_cast<double>(count)));
   target = std::max<std::uint64_t>(1, std::min(target, count));
+  // Every edge is specified: when `count` exceeds the bucket sum (a
+  // trimmed or otherwise degenerate digest), the answer is the bound of
+  // the last OCCUPIED bucket — never the bound of a trailing empty slot —
+  // and a digest whose buckets are all zero answers 0, exactly like an
+  // empty digest.
   std::uint64_t seen = 0;
-  std::size_t bucket = buckets.size() - 1;
+  std::size_t bucket = 0;
+  bool found = false;
+  std::size_t lastOccupied = 0;
+  bool anyOccupied = false;
   for (std::size_t b = 0; b < buckets.size(); ++b) {
-    seen += buckets[b];
-    if (seen >= target) {
-      bucket = b;
-      break;
+    if (buckets[b] > 0) {
+      lastOccupied = b;
+      anyOccupied = true;
     }
+    seen += buckets[b];
+    if (!found && seen >= target) {
+      bucket = b;
+      found = true;
+    }
+  }
+  if (!found) {
+    if (!anyOccupied) {
+      return 0;
+    }
+    bucket = lastOccupied;
   }
   return bucket == 0
              ? 0

@@ -119,6 +119,26 @@ void writeRunReport(std::ostream& out, const RunReport& report) {
     out << (snapshot.histograms.empty() ? "}" : "\n    }");
     out << "\n  }";
   }
+  for (std::size_t i = 0; i < report.sections.size(); ++i) {
+    const auto& [key, json] = report.sections[i];
+    for (const char* reserved : {"schema", "schema_version", "tool", "info",
+                                 "benchmarks", "metrics"}) {
+      if (key == reserved) {
+        throw std::invalid_argument(
+            "obs: run-report section key '" + key +
+            "' collides with a built-in section");
+      }
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (report.sections[j].first == key) {
+        throw std::invalid_argument("obs: duplicate run-report section key '" +
+                                    key + "'");
+      }
+    }
+    out << ",\n  ";
+    writeString(out, key);
+    out << ": " << json;
+  }
   out << "\n}\n";
 }
 

@@ -13,6 +13,15 @@ double standardNormal(Pcg32& rng) {
          std::cos(6.283185307179586476925286766559 * u2);
 }
 
+void standardNormalPair(Pcg32& rng, double& z0, double& z1) {
+  const double u1 = rng.nextDoubleOpen();
+  const double u2 = rng.nextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 6.283185307179586476925286766559 * u2;
+  z0 = r * std::cos(theta);
+  z1 = r * std::sin(theta);
+}
+
 double gamma(Pcg32& rng, double shape, double scale) {
   ROBUST_REQUIRE(shape > 0.0, "gamma: shape must be positive");
   ROBUST_REQUIRE(scale > 0.0, "gamma: scale must be positive");

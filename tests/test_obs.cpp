@@ -284,6 +284,44 @@ TEST_F(ObsMetrics, HistogramQuantilesUseBucketUpperBounds) {
   EXPECT_EQ(obs::latencyQuantileUpperNanos(zeros, 0, 0.5), 0u);
 }
 
+// Every digest edge has a specified answer: empty digests and empty bucket
+// spans answer 0, a single-bucket digest answers that bucket's bound for
+// every quantile, and a degenerate digest (count larger than the bucket
+// sum — e.g. a trimmed snapshot) answers the bound of the last OCCUPIED
+// bucket, never the bound of a trailing empty slot.
+TEST_F(ObsMetrics, QuantileEdgesAreSpecified) {
+  // Empty digest in both shapes: zero count, and an empty bucket span.
+  std::array<std::uint64_t, obs::kHistogramBuckets> zeros{};
+  EXPECT_EQ(obs::latencyQuantileUpperNanos(zeros, 0, 0.0), 0);
+  EXPECT_EQ(obs::latencyQuantileUpperNanos(zeros, 0, 1.0), 0);
+  EXPECT_EQ(obs::latencyQuantileUpperNanos({}, 0, 0.5), 0);
+  EXPECT_EQ(obs::latencyQuantileUpperNanos({}, 5, 0.5), 0);
+
+  // A count with all-zero buckets behaves like an empty digest, not like
+  // an observation in the last bucket.
+  EXPECT_EQ(obs::latencyQuantileUpperNanos(zeros, 7, 0.5), 0);
+
+  // Single-bucket digests: every quantile answers that bucket's bound.
+  const std::array<std::uint64_t, 1> only0{{9}};
+  EXPECT_EQ(obs::latencyQuantileUpperNanos(only0, 9, 0.0), 0);
+  EXPECT_EQ(obs::latencyQuantileUpperNanos(only0, 9, 1.0), 0);
+  const std::array<std::uint64_t, 3> only2{{0, 0, 7}};
+  EXPECT_EQ(obs::latencyQuantileUpperNanos(only2, 7, 0.0), 3);
+  EXPECT_EQ(obs::latencyQuantileUpperNanos(only2, 7, 0.5), 3);
+  EXPECT_EQ(obs::latencyQuantileUpperNanos(only2, 7, 1.0), 3);
+
+  // Degenerate digest: count exceeds the bucket sum (trailing buckets
+  // trimmed away). High quantiles land on the last occupied bucket.
+  const std::array<std::uint64_t, 6> trimmed{{0, 4, 2, 0, 0, 0}};
+  EXPECT_EQ(obs::latencyQuantileUpperNanos(trimmed, 100, 0.99), 3);
+  EXPECT_EQ(obs::latencyQuantileUpperNanos(trimmed, 100, 0.01), 1);
+
+  // Quantiles outside [0, 1] clamp instead of indexing out of range.
+  const std::array<std::uint64_t, 3> spread{{1, 1, 1}};
+  EXPECT_EQ(obs::latencyQuantileUpperNanos(spread, 3, -0.5), 0);
+  EXPECT_EQ(obs::latencyQuantileUpperNanos(spread, 3, 1.5), 3);
+}
+
 // A STATS snapshot runs concurrently with labeled writers and fetch-max
 // gauge updates; every intermediate snapshot must be consistent (monotone
 // counters, gauge never above the true maximum) and the final state exact.
@@ -561,6 +599,38 @@ TEST_F(ObsReport, MetricsSectionCanBeOmitted) {
   obs::writeRunReport(out, report);
   const auto doc = obs::json::parse(out.str());
   EXPECT_EQ(doc.find("metrics"), nullptr);
+}
+
+TEST_F(ObsReport, RawSectionsAppendAsTopLevelKeys) {
+  obs::RunReport report;
+  report.tool = "test_obs";
+  report.includeMetrics = false;
+  report.sections.emplace_back(
+      "curve", "{\"schema\": \"robust.curve\", \"samples\": 3}");
+  report.sections.emplace_back("extra", "[1, 2, 3]");
+  std::ostringstream out;
+  obs::writeRunReport(out, report);
+  const auto doc = obs::json::parse(out.str());
+  ASSERT_TRUE(doc.isObject());
+  const auto* curve = doc.find("curve");
+  ASSERT_NE(curve, nullptr);
+  EXPECT_EQ(curve->find("schema")->string, "robust.curve");
+  EXPECT_EQ(curve->find("samples")->number, 3.0);
+  const auto* extra = doc.find("extra");
+  ASSERT_NE(extra, nullptr);
+  ASSERT_EQ(extra->array.size(), 3u);
+}
+
+TEST_F(ObsReport, RawSectionKeyCollisionsAreLoudErrors) {
+  obs::RunReport report;
+  report.tool = "test_obs";
+  report.includeMetrics = false;
+  report.sections.emplace_back("metrics", "{}");
+  std::ostringstream out;
+  EXPECT_THROW(obs::writeRunReport(out, report), std::invalid_argument);
+  report.sections = {{"curve", "{}"}, {"curve", "{}"}};
+  std::ostringstream out2;
+  EXPECT_THROW(obs::writeRunReport(out2, report), std::invalid_argument);
 }
 
 TEST_F(ObsReport, ControlCharactersRoundTripThroughWriterAndReader) {

@@ -213,4 +213,71 @@ TEST(ReportCheck, StatsWithWrongSchemaVersionExitsOne) {
   EXPECT_NE(r.output.find("schema_version"), std::string::npos) << r.output;
 }
 
+// A run report carrying a valid "robust.curve" section whose sample count
+// matches the embedded curve.samples counter.
+constexpr const char* kCurveReport = R"({
+  "schema": "robust.run_report",
+  "schema_version": 1,
+  "tool": "degradation_curve",
+  "info": {},
+  "benchmarks": [{"name": "bench_a", "value": 100.0, "unit": "ns"}],
+  "metrics": {"counters": {"curve.samples": 1000}, "gauges": {},
+              "histograms": {}},
+  "curve": {
+    "schema": "robust.curve", "schema_version": 1,
+    "samples": 1000, "finite": 900, "seed": 1, "confidence": 0.99,
+    "dkw_epsilon": 0.05, "rho": 0.5, "fast_lane": true, "cache_hit": false,
+    "points": [
+      {"radius": 0.5, "probability": 0.001, "lower": 0.0, "upper": 0.006},
+      {"radius": 1.5, "probability": 0.4, "lower": 0.37, "upper": 0.43},
+      {"radius": 3.0, "probability": 0.9, "lower": 0.88, "upper": 0.92}
+    ]
+  }
+})";
+
+TEST(ReportCheck, CurveSectionValidatesAndSatisfiesRequire) {
+  TempDir dir("curve_ok");
+  const std::string report = dir.file("report.json", kCurveReport);
+  const RunResult r = runTool(dir, report + " --require robust.curve");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+}
+
+TEST(ReportCheck, ReportWithoutCurveSectionFailsTheRequire) {
+  TempDir dir("curve_missing");
+  const std::string report = dir.file("report.json", kValidReport);
+  const RunResult r = runTool(dir, report + " --require robust.curve");
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find("robust.curve"), std::string::npos) << r.output;
+}
+
+TEST(ReportCheck, CurveCdfInvariantsAreEnforced) {
+  TempDir dir("curve_bad");
+  // A decreasing probability is not a CDF.
+  std::string decreasing = kCurveReport;
+  const std::string needle = "\"probability\": 0.9";
+  decreasing.replace(decreasing.find(needle), needle.size(),
+                     "\"probability\": 0.3");
+  const RunResult r =
+      runTool(dir, dir.file("decreasing.json", decreasing));
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find("decreases"), std::string::npos) << r.output;
+
+  // A band that does not bracket its estimate.
+  std::string band = kCurveReport;
+  const std::string lower = "\"lower\": 0.37";
+  band.replace(band.find(lower), lower.size(), "\"lower\": 0.41");
+  const RunResult r2 = runTool(dir, dir.file("band.json", band));
+  EXPECT_EQ(r2.exitCode, 1) << r2.output;
+  EXPECT_NE(r2.output.find("bracket"), std::string::npos) << r2.output;
+
+  // The section's sample count must agree with the metrics counter.
+  std::string counted = kCurveReport;
+  const std::string counter = "\"curve.samples\": 1000";
+  counted.replace(counted.find(counter), counter.size(),
+                  "\"curve.samples\": 999");
+  const RunResult r3 = runTool(dir, dir.file("counted.json", counted));
+  EXPECT_EQ(r3.exitCode, 1) << r3.output;
+  EXPECT_NE(r3.output.find("disagrees"), std::string::npos) << r3.output;
+}
+
 }  // namespace
